@@ -1,0 +1,66 @@
+"""E2 — FCFS analysis (eqs. (11)-(12)) and TTR setting (eq. (15)).
+
+Artefacts:
+* per-stream FCFS worst-case response times on the factory cell;
+* the eq. (15) maximum TTR and the feasibility flip exactly one bit-time
+  above it;
+* R as a function of TTR (the linear dependence the paper exploits).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.profibus import fcfs_analysis, fcfs_max_feasible_ttr, tdel
+
+
+def test_e2_fcfs_response_table(factory_cell, benchmark):
+    res = benchmark(lambda: fcfs_analysis(factory_cell))
+    phy = factory_cell.phy
+    rows = [
+        (
+            f"{sr.master}/{sr.stream.name}",
+            sr.R,
+            f"{phy.ms(sr.R):.2f}",
+            f"{phy.ms(sr.stream.D):.2f}",
+            "ok" if sr.schedulable else "MISS",
+        )
+        for sr in res.per_stream
+    ]
+    print_table(
+        "E2.a FCFS worst-case response times (eq. 11), factory cell",
+        ("stream", "R bits", "R ms", "D ms", "verdict"),
+        rows,
+    )
+    assert not res.schedulable  # the reference point: FCFS misses
+
+
+def test_e2_ttr_setting(factory_cell, benchmark):
+    best = benchmark(lambda: fcfs_max_feasible_ttr(factory_cell))
+    rows = []
+    for ttr in (best - 500, best, best + 1, best + 500):
+        ok = fcfs_analysis(factory_cell, ttr=ttr).schedulable
+        rows.append((ttr, "yes" if ok else "no"))
+    print_table(
+        f"E2.b eq. (15) TTR setting (max feasible = {best})",
+        ("TTR", "FCFS schedulable"),
+        rows,
+    )
+    assert fcfs_analysis(factory_cell, ttr=best).schedulable
+    assert not fcfs_analysis(factory_cell, ttr=best + 1).schedulable
+
+
+def test_e2_r_linear_in_ttr(factory_cell, benchmark):
+    base = tdel(factory_cell)
+    rows = []
+    lat = factory_cell.ring_latency()
+    for ttr in (lat, 1000, 2000, 4000, 8000):
+        res = fcfs_analysis(factory_cell, ttr=ttr)
+        sr = res.response("cell", "axis-setpoint")
+        rows.append((ttr, ttr + base, sr.R, sr.R // (ttr + base)))
+    print_table(
+        "E2.c R(axis-setpoint) vs TTR — R = nh · (TTR + Tdel)",
+        ("TTR", "Tcycle", "R", "R/Tcycle (= nh)"),
+        rows,
+    )
+    assert all(r[3] == 3 for r in rows)  # nh = 3 on the cell master
+    benchmark(lambda: fcfs_analysis(factory_cell, ttr=4000))

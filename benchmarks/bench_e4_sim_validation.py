@@ -1,0 +1,80 @@
+"""E4 — Analytic bounds vs the token-bus simulator.
+
+Artefacts:
+* per-policy soundness (observed ≤ bound for every stream) and tightness
+  (observed/bound) on the factory cell under synchronous phasing;
+* the stack-depth ablation: the §4 architecture demands a 1-deep stack;
+  deeper FCFS stacks re-introduce priority inversion for the tightest
+  stream;
+* simulator throughput (events/second scale).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.sim import TokenBusConfig, simulate_token_bus, validate_network
+
+HORIZON = 2_000_000
+
+
+@pytest.mark.parametrize("policy", ["fcfs", "dm", "edf"])
+def test_e4_soundness(factory_cell, policy, benchmark):
+    report = benchmark.pedantic(
+        lambda: validate_network(factory_cell, policy, horizon=HORIZON),
+        rounds=2, iterations=1,
+    )
+    rows = [
+        (
+            row.name,
+            row.bound,
+            row.observed,
+            f"{row.tightness:.2f}" if row.tightness else "-",
+            "yes" if row.sound else "NO",
+        )
+        for row in report.rows
+    ]
+    print_table(
+        f"E4.a bound vs observed ({policy}, synchronous phasing)",
+        ("stream", "bound", "observed", "tightness", "sound"),
+        rows,
+    )
+    assert report.all_sound
+
+
+def test_e4_stack_depth_ablation(single_master, benchmark):
+    from repro.profibus import stack_depth_analysis
+
+    rows = []
+    for depth in (1, 2, 4, 8):
+        cfg = TokenBusConfig(policy="ap-dm", stack_depth=depth)
+        res = simulate_token_bus(single_master, HORIZON, config=cfg)
+        tight = res.stream("M1", "s0")
+        analysis = stack_depth_analysis(single_master, depth)
+        bound = analysis.response("M1", "s0").R
+        rows.append((
+            depth,
+            bound,
+            tight.max_response,
+            tight.missed,
+            "yes" if analysis.schedulable else "no",
+        ))
+        assert bound is None or tight.max_response <= bound
+    print_table(
+        "E4.b stack-depth ablation — tightest stream under AP-DM",
+        ("stack depth", "analytic bound", "observed max", "misses",
+         "analysis schedulable"),
+        rows,
+    )
+    # depth 1 (the paper's architecture) is the best configuration
+    assert rows[0][2] == min(r[2] for r in rows)
+    benchmark.pedantic(
+        lambda: simulate_token_bus(
+            single_master, HORIZON, config=TokenBusConfig(policy="ap-dm")
+        ),
+        rounds=2, iterations=1,
+    )
+
+
+def test_e4_simulator_throughput(factory_cell, benchmark):
+    res = benchmark(lambda: simulate_token_bus(factory_cell, 500_000))
+    assert res.events > 100

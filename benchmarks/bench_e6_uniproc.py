@@ -1,0 +1,102 @@
+"""E6 — §2 survey cross-validation on the uniprocessor.
+
+Artefacts:
+* the worked example's response times under all four regimes, analysis
+  vs simulation;
+* agreement matrix between the feasibility tests (utilisation, demand,
+  QPA, Zheng-Shin, George) over random task sets;
+* analysis cost: exhaustive demand test vs QPA checked points.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import (
+    assign_deadline_monotonic,
+    edf_rta,
+    george_test,
+    make_taskset,
+    nonpreemptive_rta,
+    preemptive_rta,
+    processor_demand_test,
+    qpa_test,
+    zheng_shin_test,
+)
+from repro.gen import random_taskset
+from repro.sim import simulate_uniproc
+
+
+@pytest.fixture(scope="module")
+def worked():
+    return assign_deadline_monotonic(make_taskset([(1, 4), (2, 6), (3, 10)]))
+
+
+def test_e6_worked_example_matrix(worked, benchmark):
+    analyses = {
+        "FP preemptive": preemptive_rta(worked),
+        "FP non-preemptive": nonpreemptive_rta(worked),
+        "EDF preemptive": edf_rta(worked, preemptive=True),
+        "EDF non-preemptive": edf_rta(worked, preemptive=False),
+    }
+    sims = {
+        "FP preemptive": simulate_uniproc(worked, 180, "fp", True),
+        "FP non-preemptive": simulate_uniproc(worked, 180, "fp", False),
+        "EDF preemptive": simulate_uniproc(worked, 180, "edf", True),
+        "EDF non-preemptive": simulate_uniproc(worked, 180, "edf", False),
+    }
+    rows = []
+    for regime, res in analyses.items():
+        for rt in res.per_task:
+            obs = sims[regime].max_response.get(rt.task.name, 0)
+            bound = rt.value if rt.value is not None else "inf"
+            sound = rt.value is None or obs <= rt.value
+            rows.append((regime, rt.task.name, bound, obs,
+                         "yes" if sound else "NO"))
+            assert sound
+    print_table(
+        "E6.a worked example (C,T) = (1,4),(2,6),(3,10): bound vs observed",
+        ("regime", "task", "bound", "observed", "sound"),
+        rows,
+    )
+    benchmark(lambda: edf_rta(worked, preemptive=False))
+
+
+def test_e6_test_agreement(benchmark):
+    agree = {"pdc=qpa": 0, "zs⊆george": 0, "george⊆pdc": 0}
+    total = 40
+    for seed in range(total):
+        ts = random_taskset(4, 0.55 + (seed % 5) * 0.08, seed=seed,
+                            t_min=5, t_max=60, deadline_beta=0.4)
+        pdc = processor_demand_test(ts).schedulable
+        qpa = qpa_test(ts).schedulable
+        zs = zheng_shin_test(ts).schedulable
+        g = george_test(ts).schedulable
+        agree["pdc=qpa"] += pdc == qpa
+        agree["zs⊆george"] += (not zs) or g
+        agree["george⊆pdc"] += (not g) or pdc
+    rows = [(k, f"{v}/{total}") for k, v in agree.items()]
+    print_table("E6.b feasibility-test relationships over random sets",
+                ("relationship", "holds"), rows)
+    assert all(v == total for v in agree.values())
+    benchmark.pedantic(
+        lambda: [qpa_test(random_taskset(4, 0.7, seed=s)) for s in range(5)],
+        rounds=2, iterations=1,
+    )
+
+
+def test_e6_qpa_speedup(benchmark):
+    ts = random_taskset(8, 0.92, seed=3, t_min=50, t_max=5000)
+    exhaustive = processor_demand_test(ts)
+    quick = qpa_test(ts)
+    print_table(
+        "E6.c QPA vs exhaustive demand test",
+        ("test", "checked points", "schedulable"),
+        [
+            ("exhaustive eq. (3)", exhaustive.checked_points,
+             exhaustive.schedulable),
+            ("QPA", quick.checked_points, quick.schedulable),
+        ],
+    )
+    assert quick.schedulable == exhaustive.schedulable
+    assert quick.checked_points <= exhaustive.checked_points
+    benchmark(lambda: qpa_test(ts))

@@ -1,0 +1,92 @@
+"""E7 — End-to-end delay with release jitter (§4.1-4.2).
+
+Artefacts:
+* sender-task response times → inherited message release jitter for the
+  two task models;
+* E = g + Q + C + d per stream under DM and EDF dispatching;
+* jitter sensitivity: how the message bound degrades as sender load
+  (hence jitter) grows.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.apsched import TaskModel, end_to_end_analysis, sender_response_times
+from repro.core import Task
+from repro.profibus import dm_analysis
+
+
+def _cell_model(load: float = 1.0) -> TaskModel:
+    ms = 1500
+    return TaskModel(
+        sender_tasks={
+            "axis-setpoint": Task(C=max(1, int(0.2 * ms * load)),
+                                  T=50 * ms, D=4 * ms, name="snd-axis"),
+            "alarm-poll": Task(C=max(1, int(0.4 * ms * load)),
+                               T=80 * ms, D=8 * ms, name="snd-alarm"),
+            "cell-status": Task(C=max(1, int(1.0 * ms * load)),
+                                T=100 * ms, D=40 * ms, name="snd-status"),
+        },
+        scheduler="fp",
+    )
+
+
+def test_e7_jitter_inheritance(factory_cell, benchmark):
+    model = _cell_model()
+    responses = benchmark(lambda: sender_response_times(model))
+    rows = [(stream, r) for stream, r in responses.items()]
+    print_table(
+        "E7.a sender response times = message release jitter (bits)",
+        ("stream", "J = R_sender"),
+        rows,
+    )
+    assert all(r is not None for _, r in rows)
+
+
+@pytest.mark.parametrize("policy", ["dm", "edf"])
+def test_e7_end_to_end_table(factory_cell, policy, benchmark):
+    report = benchmark.pedantic(
+        lambda: end_to_end_analysis(
+            factory_cell, {"cell": _cell_model()}, policy=policy,
+            delivery_delays={"cell/axis-setpoint": 150},
+        ),
+        rounds=2, iterations=1,
+    )
+    rows = [
+        (f"{r.master}/{r.stream}", r.g, r.qc, r.d, r.total)
+        for r in report.rows
+        if r.master == "cell"
+    ]
+    print_table(
+        f"E7.b end-to-end bounds E = g + Q+C + d ({policy}, bits)",
+        ("stream", "g", "Q+C", "d", "E"),
+        rows,
+    )
+    assert report.all_bounded
+
+
+def test_e7_jitter_sensitivity(factory_cell, benchmark):
+    plain = dm_analysis(factory_cell)
+    rows = []
+    for load in (0.5, 1.0, 2.0, 4.0):
+        rep = end_to_end_analysis(
+            factory_cell, {"cell": _cell_model(load)}, policy="dm"
+        )
+        r = rep.row("cell", "cell-status")
+        rows.append((load, r.g, r.qc))
+    print_table(
+        "E7.c sender load vs inherited jitter vs message bound (cell-status)",
+        ("sender load", "g (jitter)", "Q+C"),
+        rows,
+    )
+    # jitter grows with load; the message bound never shrinks
+    assert all(a[1] <= b[1] for a, b in zip(rows, rows[1:]))
+    assert all(a[2] <= b[2] for a, b in zip(rows, rows[1:]))
+    base = plain.response("cell", "cell-status").R
+    assert all(r[2] >= base for r in rows)
+    benchmark.pedantic(
+        lambda: end_to_end_analysis(
+            factory_cell, {"cell": _cell_model(2.0)}, policy="dm"
+        ),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,136 @@
+"""E8 — Extensions beyond the paper (DESIGN.md §5 ablations).
+
+Artefacts:
+* guaranteed low-priority bandwidth at each policy's maximum TTR — the
+  operational payoff of the §5 claim;
+* GAP ring maintenance: simulated rotations stay within the gap-aware
+  eq. (14) bound, and the bound only grows when gap polls are the
+  longest cycles a master can start;
+* critical scaling factors: how much extra load each §2 test tolerates
+  on the worked example;
+* refined vs aggregate Tdel (eq. (13)) across random networks.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from conftest import print_table
+from repro.core import (
+    assign_deadline_monotonic,
+    critical_scaling_factor,
+    make_taskset,
+    nonpreemptive_rta,
+    preemptive_rta,
+    processor_demand_test,
+)
+from repro.gen import random_network
+from repro.profibus import (
+    bandwidth_advantage,
+    gap_aware_tcycle,
+    low_priority_bandwidth,
+    max_feasible_ttr,
+    tcycle,
+    tdel,
+    tdel_refined,
+)
+from repro.profibus.timing import longest_cycle
+from repro.sim import TokenBusConfig, simulate_token_bus
+
+
+def test_e8_bandwidth_payoff(factory_cell, benchmark):
+    adv = benchmark.pedantic(
+        lambda: bandwidth_advantage(factory_cell), rounds=2, iterations=1
+    )
+    rows = []
+    for policy, frac in adv.items():
+        best = max_feasible_ttr(factory_cell, policy)
+        rows.append((
+            policy,
+            best if best is not None else "-",
+            f"{frac * 100:.1f}%" if frac is not None else "-",
+        ))
+    print_table(
+        "E8.a guaranteed low-priority bandwidth at max feasible TTR",
+        ("policy", "max TTR (bits)", "low-priority share"),
+        rows,
+    )
+    assert adv["dm"] > adv["fcfs"]
+
+
+def test_e8_gap_maintenance(factory_cell, benchmark):
+    lap = {m.name: longest_cycle(m, factory_cell.phy)
+           for m in factory_cell.masters}
+    rows = []
+    for g in (None, 10, 3, 1):
+        cfg = TokenBusConfig(low_always_pending=lap, gap_update_factor=g)
+        res = simulate_token_bus(factory_cell, 1_500_000, config=cfg)
+        polls = sum(ms.gap_polls for ms in res.masters.values())
+        bound = gap_aware_tcycle(factory_cell)
+        rows.append((
+            g if g is not None else "off",
+            polls,
+            res.max_trr,
+            bound,
+            res.max_trr <= bound,
+        ))
+        assert res.max_trr <= bound
+    print_table(
+        "E8.b GAP maintenance vs the gap-aware eq. (14) bound",
+        ("gap factor G", "polls", "max TRR", "bound", "sound"),
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: simulate_token_bus(
+            factory_cell, 500_000,
+            config=TokenBusConfig(gap_update_factor=3),
+        ),
+        rounds=2, iterations=1,
+    )
+
+
+def test_e8_critical_scaling(benchmark):
+    ts = make_taskset([(1, 4), (2, 6), (3, 10)])
+    tests = {
+        "FP preemptive RTA": lambda s: preemptive_rta(
+            assign_deadline_monotonic(s)).schedulable,
+        "FP non-preemptive RTA": lambda s: nonpreemptive_rta(
+            assign_deadline_monotonic(s)).schedulable,
+        "EDF demand (eq. 3)": lambda s: processor_demand_test(s).schedulable,
+    }
+    rows = []
+    for name, pred in tests.items():
+        alpha = critical_scaling_factor(ts, pred, precision=Fraction(1, 64))
+        rows.append((
+            name,
+            f"{float(alpha):.3f}" if alpha else "-",
+            f"{float(alpha) * ts.utilization:.3f}" if alpha else "-",
+        ))
+    print_table(
+        "E8.c critical scaling factor, worked example (U = 0.883)",
+        ("test", "alpha", "breakdown U"),
+        rows,
+    )
+    # EDF tolerates at least as much scaling as fixed priority
+    assert float(rows[2][1]) >= float(rows[0][1]) - 1e-9
+    benchmark(lambda: critical_scaling_factor(
+        ts, tests["EDF demand (eq. 3)"], precision=Fraction(1, 16)))
+
+
+def test_e8_refined_tdel_gain(benchmark):
+    rows = []
+    gains = []
+    for seed in range(10):
+        net = random_network(n_masters=4, streams_per_master=3,
+                             seed=seed, low_priority_streams=2)
+        agg, ref = tdel(net), tdel_refined(net)
+        gain = (agg - ref) / agg if agg else 0.0
+        gains.append(gain)
+        rows.append((seed, agg, ref, f"{gain * 100:.1f}%"))
+    print_table(
+        "E8.d eq. (13) aggregate vs refined Tdel on random networks",
+        ("seed", "Tdel eq13", "Tdel refined", "gain"),
+        rows,
+    )
+    assert all(g >= 0 for g in gains)
+    benchmark(lambda: [tdel_refined(random_network(seed=s)) for s in range(3)])

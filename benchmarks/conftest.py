@@ -1,0 +1,46 @@
+"""Benchmark fixtures and table-printing helpers.
+
+Every bench prints the rows/series of its experiment (the paper has no
+numbered tables, so these ARE the artefacts — see EXPERIMENTS.md) and
+wraps the computational kernel in pytest-benchmark for timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    factory_cell_network,
+    paper_illustration_network,
+    single_master_network,
+)
+
+
+@pytest.fixture(scope="session")
+def factory_cell():
+    return factory_cell_network()
+
+
+@pytest.fixture(scope="session")
+def single_master():
+    return single_master_network()
+
+
+@pytest.fixture(scope="session")
+def illustration():
+    return paper_illustration_network().with_ttr(3000)
+
+
+def print_table(title: str, header, rows) -> None:
+    """Render one experiment table to stdout (captured by --benchmark runs
+    with -s; EXPERIMENTS.md records the same numbers)."""
+    print(f"\n### {title}")
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(header)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))

@@ -1,0 +1,53 @@
+"""Factory-cell walkthrough: the paper's §5 claim on a realistic network.
+
+A 4-master cell (controller, PLC, robot, supervisor) at 1.5 Mbit/s where
+the stock FCFS queue misses the axis set-point deadline while the §4
+AP-level priority queues (DM and EDF) meet every deadline — and allow a
+~4x larger TTR, leaving real bandwidth for background traffic.
+
+Run:  python examples/factory_cell.py
+"""
+
+from repro.profibus import analyse, token_cycle_report, ttr_advantage
+from repro.scenarios import FACTORY_CELL_TTR, factory_cell_network
+
+network = factory_cell_network()
+phy = network.phy
+
+print(f"factory cell @ {phy.baud_rate // 1000} kbit/s, "
+      f"TTR = {FACTORY_CELL_TTR} bits ({phy.ms(FACTORY_CELL_TTR):.2f} ms)")
+
+rep = token_cycle_report(network)
+print(f"Tdel = {rep.tdel_aggregate} bits, "
+      f"Tcycle = {rep.tcycle_aggregate} bits "
+      f"({phy.ms(rep.tcycle_aggregate):.2f} ms)\n")
+
+# ---- per-stream response times, the three policies side by side --------
+results = {p: analyse(network, p) for p in ("fcfs", "dm", "edf")}
+streams = [(sr.master, sr.stream) for sr in results["fcfs"].per_stream]
+
+header = f"{'stream':<24}{'D (ms)':>8}" + "".join(
+    f"{p.upper() + ' R(ms)':>12}" for p in results
+)
+print(header)
+print("-" * len(header))
+for master, stream in streams:
+    row = f"{master + '/' + stream.name:<24}{phy.ms(stream.D):>8.1f}"
+    for p, res in results.items():
+        sr = res.response(master, stream.name)
+        mark = "" if sr.schedulable else "*"
+        row += f"{phy.ms(sr.R):>11.1f}{mark or ' '}"
+    print(row)
+print("(* = deadline miss)\n")
+
+for p, res in results.items():
+    print(f"{p.upper():<5} schedulable: {res.schedulable}")
+
+# ---- the TTR angle: how much rotation budget each policy leaves ---------
+adv = ttr_advantage(network)
+print("\nmaximum feasible TTR (more = more low-priority bandwidth):")
+for p, v in adv.items():
+    print(f"  {p:<5} " + (f"{v} bits ({phy.ms(v):.2f} ms)" if v else "infeasible"))
+if adv["fcfs"] and adv["dm"]:
+    print(f"\nDM allows a {adv['dm'] / adv['fcfs']:.1f}x larger TTR than FCFS "
+          f"on this cell — the paper's §5 conclusion, quantified.")

@@ -1,0 +1,80 @@
+"""Quickstart: define a PROFIBUS network, bound its token cycle, and
+check message schedulability under the stock FCFS queue and the
+paper's AP-level priority architectures.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.profibus import (
+    Master,
+    MessageCycleSpec,
+    MessageStream,
+    Network,
+    PhyParameters,
+    Slave,
+    analyse,
+    max_feasible_ttr,
+    token_cycle_report,
+)
+
+# --- 1. describe the network (times in bit times; 500 kbit/s here) ------
+phy = PhyParameters(baud_rate=500_000, max_retry=1)
+MS = 500  # bit times per millisecond at 500 kbit/s
+
+controller = Master(
+    address=1,
+    name="controller",
+    streams=(
+        # poll a pressure sensor every 50 ms, answer within 20 ms
+        MessageStream("pressure", T=50 * MS, D=20 * MS,
+                      spec=MessageCycleSpec(req_payload=0, resp_payload=8)),
+        # update a valve every 80 ms, 30 ms deadline
+        MessageStream("valve", T=80 * MS, D=30 * MS,
+                      spec=MessageCycleSpec(req_payload=4, short_ack=True)),
+        # slow status exchange
+        MessageStream("status", T=200 * MS, D=200 * MS,
+                      spec=MessageCycleSpec(req_payload=16, resp_payload=16)),
+    ),
+)
+logger = Master(
+    address=2,
+    name="logger",
+    streams=(
+        MessageStream("trend", T=100 * MS, D=100 * MS,
+                      spec=MessageCycleSpec(req_payload=0, resp_payload=32)),
+        # background bulk upload — low priority, long frames
+        MessageStream("bulk", T=500 * MS, high_priority=False,
+                      spec=MessageCycleSpec(req_payload=64, resp_payload=8)),
+    ),
+)
+network = Network(
+    masters=(controller, logger),
+    slaves=(Slave(10), Slave(11), Slave(12)),
+    phy=phy,
+    ttr=1000,  # target token rotation time, bit times (2 ms)
+)
+
+# --- 2. token-cycle bound: eqs. (13)-(14) --------------------------------
+report = token_cycle_report(network)
+print("token cycle breakdown")
+print(f"  ring latency : {report.ring_latency} bits")
+print(f"  Tdel (eq.13) : {report.tdel_aggregate} bits")
+print(f"  Tcycle(eq.14): {report.tcycle_aggregate} bits "
+      f"= {phy.ms(report.tcycle_aggregate):.2f} ms")
+
+# --- 3. message response times under the three policies ------------------
+for policy in ("fcfs", "dm", "edf"):
+    result = analyse(network, policy)
+    print(f"\n{policy.upper()} (eq. {'11' if policy == 'fcfs' else '16' if policy == 'dm' else '17'}):"
+          f" schedulable={result.schedulable}")
+    for sr in result.per_stream:
+        print(f"  {sr.master}/{sr.stream.name:<10} R={phy.ms(sr.R):6.2f} ms  "
+              f"D={phy.ms(sr.stream.D):6.2f} ms  "
+              f"{'ok' if sr.schedulable else 'MISS'}")
+
+# --- 4. how large can TTR be per policy (eq. 15 + generalisation)? -------
+print("\nmaximum feasible TTR per policy:")
+for policy in ("fcfs", "dm", "edf"):
+    best = max_feasible_ttr(network, policy)
+    print(f"  {policy:<5} "
+          + (f"{best} bits ({phy.ms(best):.2f} ms)" if best else "infeasible"))

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline).
+
+`pip install -e . --no-build-isolation` needs `wheel` for PEP 660
+editable builds; `python setup.py develop` works with plain setuptools.
+All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""repro — reproduction of Tovar & Vasques (IPPS/WPDRTS 1999):
+"From Task Scheduling in Single Processor Environments to Message
+Scheduling in a PROFIBUS Fieldbus Network".
+
+Public surface:
+
+* :mod:`repro.core` — single-processor schedulability theory (§2);
+* :mod:`repro.profibus` — PROFIBUS model and message analyses (§3–§4);
+* :mod:`repro.apsched` — AP-level jitter and end-to-end delays (§4.1–4.2);
+* :mod:`repro.sim` — discrete-event simulators (token bus, uniprocessor);
+* :mod:`repro.gen` — workload generators;
+* :mod:`repro.scenarios` — reference networks for examples and benches.
+"""
+
+from . import apsched, core, gen, profibus, scenarios, sim
+
+__version__ = "1.0.0"
+
+__all__ = ["apsched", "core", "gen", "profibus", "scenarios", "sim", "__version__"]

@@ -1,0 +1,14 @@
+"""Application-process level architecture (§4): release jitter inherited
+from sender tasks and the end-to-end delay composition E = g+Q+C+d."""
+
+from .end_to_end import EndToEndReport, EndToEndRow, end_to_end_analysis
+from .jitter import TaskModel, derive_stream_jitter, sender_response_times
+
+__all__ = [
+    "EndToEndReport",
+    "EndToEndRow",
+    "TaskModel",
+    "derive_stream_jitter",
+    "end_to_end_analysis",
+    "sender_response_times",
+]

@@ -1,0 +1,127 @@
+"""End-to-end communication delay — §4.2 of the paper.
+
+    E = g + Q + C + d
+
+* ``g`` — worst-case *generation* delay: the sender task's response time
+  up to queuing the request (this same value is the message's release
+  jitter, §4.1);
+* ``Q`` — worst-case queuing delay at the AP/stack queues, from the
+  message analyses (eqs. (11)/(16)/(17): ``Q = R − Tcycle`` for the
+  priority policies, ``R − Ch`` for FCFS);
+* ``C`` — the message cycle itself (request + slave turnaround +
+  response); inside ``R`` in our analyses, so ``Q + C = R`` with the
+  priority policies' conservative ``C → Tcycle`` substitution;
+* ``d`` — delivery delay: the receiving part of the task processing the
+  response, bounded by its own response-time analysis.
+
+Because messages inherit release jitter from tasks and the message
+analyses consume that jitter, the composition is a small *holistic*
+fixed point: task response times → jitter → message response times.
+With sender and receiver on the same host (the PROFIBUS model), one
+pass suffices — message response times do not feed back into sender
+response times — so :func:`end_to_end_analysis` is a straight pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..profibus.network import Master, Network
+from ..profibus.ttr import analyse
+from .jitter import TaskModel, derive_stream_jitter, sender_response_times
+
+
+@dataclass(frozen=True)
+class EndToEndRow:
+    """Per-stream breakdown of E = g + Q + C + d."""
+
+    master: str
+    stream: str
+    g: Optional[int]
+    #: Q + C together (the message worst-case response time R).
+    qc: Optional[int]
+    d: Optional[int]
+
+    @property
+    def total(self) -> Optional[int]:
+        if self.g is None or self.qc is None or self.d is None:
+            return None
+        return self.g + self.qc + self.d
+
+
+@dataclass(frozen=True)
+class EndToEndReport:
+    rows: List[EndToEndRow]
+    policy: str
+    tcycle: int
+
+    def row(self, master: str, stream: str) -> EndToEndRow:
+        for r in self.rows:
+            if r.master == master and r.stream == stream:
+                return r
+        raise KeyError((master, stream))
+
+    @property
+    def all_bounded(self) -> bool:
+        return all(r.total is not None for r in self.rows)
+
+
+def end_to_end_analysis(
+    network: Network,
+    task_models: Dict[str, TaskModel],
+    policy: str = "dm",
+    delivery_delays: Optional[Dict[str, int]] = None,
+    refined: bool = False,
+) -> EndToEndReport:
+    """Compose the full E = g + Q + C + d bound for every high-priority
+    stream.
+
+    ``task_models`` maps master name → :class:`TaskModel`; masters
+    without a model keep their configured stream jitter and get
+    ``g = J``.  ``delivery_delays`` maps ``"master/stream"`` → ``d``
+    (default 0: response consumed in place).
+    """
+    delivery_delays = delivery_delays or {}
+
+    # 1. inherit jitter from sender tasks
+    new_masters = []
+    g_of: Dict[str, Optional[int]] = {}
+    for m in network.masters:
+        model = task_models.get(m.name)
+        if model is None:
+            new_masters.append(m)
+            for s in m.high_streams:
+                g_of[f"{m.name}/{s.name}"] = s.J
+            continue
+        responses = sender_response_times(model)
+        m2 = derive_stream_jitter(m, model)
+        new_masters.append(m2)
+        for s in m2.high_streams:
+            g_of[f"{m.name}/{s.name}"] = (
+                responses.get(s.name) if s.name in responses else s.J
+            )
+    jittered = Network(
+        masters=tuple(new_masters),
+        slaves=network.slaves,
+        phy=network.phy,
+        ttr=network.ttr,
+    )
+
+    # 2. message analysis with inherited jitter
+    analysis = analyse(jittered, policy, refined=refined)
+
+    # 3. compose
+    rows = []
+    for sr in analysis.per_stream:
+        key = f"{sr.master}/{sr.stream.name}"
+        rows.append(
+            EndToEndRow(
+                master=sr.master,
+                stream=sr.stream.name,
+                g=g_of.get(key, sr.stream.J),
+                qc=sr.R,
+                d=delivery_delays.get(key, 0),
+            )
+        )
+    return EndToEndReport(rows=rows, policy=policy, tcycle=analysis.tcycle)

@@ -1,0 +1,102 @@
+"""Release jitter of message requests — §4.1 of the paper.
+
+Messages inherit period and priority from the application tasks that
+generate them; the *release jitter* of a message stream is the
+variability in when the generating task actually enqueues the request.
+The paper describes two task models:
+
+* **Combined model** — one task places the request, auto-suspends until
+  the response arrives, then finishes.  The message's release jitter is
+  the worst-case response time of the *first part* of the task (up to
+  and including the enqueue).
+* **Split model** — separate sender and receiver tasks.  The message's
+  release jitter is the worst-case response time of the whole *sender*
+  task: an instance can enqueue as late as its response time, while the
+  next can enqueue immediately on arrival.
+
+Either way, ``J_msg = R(part) − C_best(part)`` collapses to the paper's
+simpler ``J_msg = R(sender-part)`` upper bound, which is what we expose
+(the conservative choice; the difference is the minimum enqueue latency,
+rarely known in practice).
+
+Task response times come from the §2 analyses — the application
+processor is assumed preemptive fixed-priority or preemptive EDF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.edf_rta import edf_response_time
+from ..core.rta_fixed import preemptive_response_time
+from ..core.task import Task, TaskSet
+from ..profibus.network import Master
+from ..profibus.stream import MessageStream
+
+
+@dataclass(frozen=True)
+class TaskModel:
+    """How a master's application tasks generate its message streams.
+
+    ``sender_tasks`` maps stream name → the (sender part of the) task
+    that enqueues its requests.  ``scheduler`` selects the processor
+    scheduling policy used to bound the senders' response times.
+    """
+
+    sender_tasks: Dict[str, Task]
+    scheduler: str = "fp"  # "fp" (preemptive fixed-priority) | "edf"
+    model: str = "combined"  # "combined" | "split" (documentation only)
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in ("fp", "edf"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.model not in ("combined", "split"):
+            raise ValueError(f"unknown task model {self.model!r}")
+
+
+def sender_response_times(model: TaskModel) -> Dict[str, Optional[int]]:
+    """Worst-case response time of each sender (part), by stream name."""
+    if not model.sender_tasks:
+        return {}
+    ts = TaskSet(list(model.sender_tasks.values()))
+    out: Dict[str, Optional[int]] = {}
+    if model.scheduler == "fp":
+        if any(t.priority is None for t in ts):
+            from ..core.priority import assign_deadline_monotonic
+
+            ts = assign_deadline_monotonic(ts)
+        for (stream_name, _), task in zip(model.sender_tasks.items(), ts):
+            rt = preemptive_response_time(ts, task)
+            out[stream_name] = rt.value
+    else:
+        for (stream_name, _), task in zip(model.sender_tasks.items(), ts):
+            rt = edf_response_time(ts, task, preemptive=True)
+            out[stream_name] = rt.value
+    return out
+
+
+def derive_stream_jitter(
+    master: Master, model: TaskModel
+) -> Master:
+    """Return a copy of ``master`` whose streams carry the release
+    jitter inherited from their sender tasks (``J = R_sender``).
+
+    Streams without a sender task keep their configured jitter.  Raises
+    when a sender is unschedulable (its response time is unbounded) —
+    there is then no meaningful jitter bound to inherit.
+    """
+    responses = sender_response_times(model)
+    new_streams = []
+    for s in master.streams:
+        if s.name in responses:
+            r = responses[s.name]
+            if r is None:
+                raise ValueError(
+                    f"sender task of stream {s.name!r} is unschedulable; "
+                    "its response time cannot bound the release jitter"
+                )
+            new_streams.append(s.with_jitter(int(r)))
+        else:
+            new_streams.append(s)
+    return master.with_streams(new_streams)

@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+Subcommands::
+
+    profibus-rt analyse  --scenario factory-cell --policy dm [--ttr N]
+    profibus-rt ttr      --scenario factory-cell
+    profibus-rt simulate --scenario factory-cell --policy edf --horizon-ms 4000
+    profibus-rt report   --scenario factory-cell
+
+``analyse`` prints per-stream worst-case response times (eqs. 11/16/17);
+``ttr`` prints the maximum feasible TTR per policy (eq. 15 +
+generalisation); ``simulate`` runs the token-bus simulator and compares
+observed responses against the analytic bounds; ``report`` prints the
+token-cycle breakdown (eqs. 13–14).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .profibus.timing import token_cycle_report
+from .profibus.ttr import analyse, ttr_advantage
+from .scenarios import (
+    factory_cell_network,
+    paper_illustration_network,
+    single_master_network,
+)
+from .sim.validate import validate_network
+
+_SCENARIOS: Dict[str, Callable] = {
+    "factory-cell": factory_cell_network,
+    "paper-illustration": lambda: paper_illustration_network().with_ttr(3000),
+    "single-master": single_master_network,
+}
+
+
+def _load_network(args):
+    if getattr(args, "file", None):
+        from .profibus.serialization import load_network
+
+        net = load_network(args.file)
+    else:
+        try:
+            net = _SCENARIOS[args.scenario]()
+        except KeyError:
+            raise SystemExit(
+                f"unknown scenario {args.scenario!r}; pick from {sorted(_SCENARIOS)}"
+            )
+    if getattr(args, "ttr", None):
+        net = net.with_ttr(args.ttr)
+    return net
+
+
+def _cmd_analyse(args) -> int:
+    net = _load_network(args)
+    result = analyse(net, args.policy, refined=args.refined)
+    phy = net.phy
+    print(f"scenario={args.scenario} policy={args.policy} "
+          f"TTR={result.ttr} ({phy.ms(result.ttr):.2f} ms) "
+          f"Tcycle={result.tcycle} ({phy.ms(result.tcycle):.2f} ms)")
+    print(f"{'stream':<28}{'R (bits)':>10}{'R (ms)':>9}{'D (ms)':>9}  verdict")
+    for sr in result.per_stream:
+        r = sr.R if sr.R is not None else float("inf")
+        print(f"{sr.master + '/' + sr.stream.name:<28}"
+              f"{sr.R if sr.R is not None else '∞':>10}"
+              f"{phy.ms(r):>9.2f}{phy.ms(sr.stream.D):>9.2f}  "
+              f"{'ok' if sr.schedulable else 'MISS'}")
+    print(f"schedulable: {result.schedulable}")
+    return 0 if result.schedulable else 1
+
+
+def _cmd_ttr(args) -> int:
+    net = _load_network(args)
+    adv = ttr_advantage(net, refined=args.refined)
+    phy = net.phy
+    print(f"scenario={args.scenario} — maximum feasible TTR per policy")
+    for policy, val in adv.items():
+        if val is None:
+            print(f"  {policy:<5} infeasible at any TTR")
+        else:
+            print(f"  {policy:<5} TTR ≤ {val} bits ({phy.ms(val):.2f} ms)")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    net = _load_network(args)
+    horizon = int(args.horizon_ms * net.phy.baud_rate / 1000)
+    report = validate_network(net, args.policy, horizon)
+    print(f"scenario={args.scenario} policy={args.policy} "
+          f"horizon={args.horizon_ms} ms  (events={report.detail['events']})")
+    print(f"{'stream':<28}{'bound':>10}{'observed':>10}{'jobs':>7}  sound")
+    for row in report.rows:
+        print(f"{row.name:<28}{row.bound if row.bound is not None else '∞':>10}"
+              f"{row.observed:>10}{row.completed:>7}  "
+              f"{'yes' if row.sound else 'NO'}")
+    print(f"max TRR observed: {report.detail['max_trr_observed']} "
+          f"(Tcycle bound {report.detail['tcycle_bound']})")
+    print(f"all bounds sound: {report.all_sound}")
+    return 0 if report.all_sound else 1
+
+
+def _cmd_report(args) -> int:
+    net = _load_network(args)
+    rep = token_cycle_report(net)
+    phy = net.phy
+    print(f"scenario={args.scenario}")
+    print(f"  ring latency     : {rep.ring_latency} bits")
+    print(f"  TTR              : {rep.ttr} bits ({phy.ms(rep.ttr):.2f} ms)")
+    print(f"  Tdel (eq. 13)    : {rep.tdel_aggregate} bits")
+    print(f"  Tdel (refined)   : {rep.tdel_refined} bits")
+    print(f"  Tcycle (eq. 14)  : {rep.tcycle_aggregate} bits "
+          f"({phy.ms(rep.tcycle_aggregate):.2f} ms)")
+    print(f"  Tcycle (refined) : {rep.tcycle_refined} bits")
+    print("  per-master longest cycles (any / high-priority):")
+    for name in rep.per_master_cm:
+        print(f"    {name:<12} {rep.per_master_cm[name]:>6} / "
+              f"{rep.per_master_chm[name]:>6}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .profibus.sweep import (
+        baud_sweep,
+        deadline_scale_sweep,
+        rows_to_csv,
+        ttr_sweep,
+    )
+
+    net = _load_network(args)
+    if args.param == "ttr":
+        values = range(args.start, args.stop + 1, args.step)
+        rows = ttr_sweep(net, values)
+    elif args.param == "deadline-scale":
+        n = max(2, (args.stop - args.start) // max(1, args.step) + 1)
+        factors = [args.start / 100.0 + i * args.step / 100.0
+                   for i in range(n)
+                   if args.start + i * args.step <= args.stop]
+        rows = deadline_scale_sweep(net, factors)
+    elif args.param == "baud":
+        rows = baud_sweep(net)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown sweep parameter {args.param!r}")
+    print(rows_to_csv(rows), end="")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .sim.token import TokenBusConfig, simulate_token_bus
+    from .sim.trace import BusTrace, render_timeline
+
+    net = _load_network(args)
+    horizon = int(args.horizon_ms * net.phy.baud_rate / 1000)
+    trace = BusTrace()
+    policy = {"fcfs": "stock-fcfs", "dm": "ap-dm", "edf": "ap-edf"}[args.policy]
+    simulate_token_bus(net, horizon,
+                       config=TokenBusConfig(policy=policy, tracer=trace))
+    window = int(args.window_ms * net.phy.baud_rate / 1000)
+    print(render_timeline(trace, 0, min(window, horizon), width=args.width))
+    print(f"\nbus utilisation over trace: {trace.bus_utilisation() * 100:.1f}%")
+    if trace.dropped:
+        print(f"(trace truncated: {trace.dropped} events dropped)")
+    return 0
+
+
+def _cmd_bandwidth(args) -> int:
+    from .profibus.bandwidth import bandwidth_advantage, low_priority_bandwidth
+    from .profibus.ttr import max_feasible_ttr
+
+    net = _load_network(args)
+    phy = net.phy
+    print(f"scenario={args.file or args.scenario} — guaranteed low-priority "
+          "bandwidth at each policy's maximum feasible TTR")
+    for policy in ("fcfs", "dm", "edf"):
+        best = max_feasible_ttr(net, policy, refined=args.refined)
+        if best is None:
+            print(f"  {policy:<5} infeasible at any TTR")
+            continue
+        rep = low_priority_bandwidth(net, best, refined=args.refined)
+        print(f"  {policy:<5} TTR={best} ({phy.ms(best):.2f} ms)  "
+              f"low budget {rep.low_budget_per_rotation:.0f} bits/rotation  "
+              f"= {rep.low_fraction * 100:.1f}% of bus time")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .profibus.serialization import save_network
+
+    net = _load_network(args)
+    save_network(net, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="profibus-rt",
+        description="PROFIBUS real-time message schedulability toolbox "
+        "(Tovar & Vasques, IPPS/WPDRTS 1999 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, policy=True):
+        p.add_argument("--scenario", default="factory-cell",
+                       choices=sorted(_SCENARIOS))
+        p.add_argument("--file", default=None, metavar="SCENARIO.json",
+                       help="load the network from a scenario file "
+                            "instead of --scenario")
+        p.add_argument("--ttr", type=int, default=None,
+                       help="override the scenario TTR (bit times)")
+        p.add_argument("--refined", action="store_true",
+                       help="use the refined per-master Tdel bound")
+        if policy:
+            p.add_argument("--policy", default="dm",
+                           choices=("fcfs", "dm", "edf"))
+
+    p = sub.add_parser("analyse", help="per-stream worst-case response times")
+    add_common(p)
+    p.set_defaults(func=_cmd_analyse)
+
+    p = sub.add_parser("ttr", help="maximum feasible TTR per policy")
+    add_common(p, policy=False)
+    p.set_defaults(func=_cmd_ttr)
+
+    p = sub.add_parser("simulate", help="token-bus simulation vs bounds")
+    add_common(p)
+    p.add_argument("--horizon-ms", type=float, default=2000.0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("report", help="token-cycle breakdown (eqs. 13-14)")
+    add_common(p, policy=False)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "bandwidth",
+        help="guaranteed low-priority bandwidth at each policy's max TTR",
+    )
+    add_common(p, policy=False)
+    p.set_defaults(func=_cmd_bandwidth)
+
+    p = sub.add_parser("export", help="write the scenario to a JSON file")
+    add_common(p, policy=False)
+    p.add_argument("output", help="path of the scenario file to write")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser(
+        "sweep",
+        help="CSV parameter sweep (TTR / deadline scale / baud rate)",
+    )
+    add_common(p, policy=False)
+    p.add_argument("--param", default="ttr",
+                   choices=("ttr", "deadline-scale", "baud"))
+    p.add_argument("--start", type=int, default=500,
+                   help="first value (TTR bits, or percent for "
+                        "deadline-scale)")
+    p.add_argument("--stop", type=int, default=8000)
+    p.add_argument("--step", type=int, default=500)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("trace", help="simulate and render an ASCII bus timeline")
+    add_common(p)
+    p.add_argument("--horizon-ms", type=float, default=200.0)
+    p.add_argument("--window-ms", type=float, default=50.0,
+                   help="timeline window rendered from t=0")
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Single-processor real-time schedulability theory (§2 of the paper).
+
+The subpackage is self-contained (no PROFIBUS dependencies) and is reused
+verbatim by :mod:`repro.profibus` with ``C → Tcycle`` — exactly the
+transfer the paper performs in §4.3.
+"""
+
+from .blocking import blocking_from, edf_blocking_at, nonpreemptive_blocking
+from .busy_period import demand_horizon, synchronous_busy_period
+from .demand import dbf, dbf_with_jitter, deadline_points, processor_demand_test, qpa_test
+from .edf_nonpreemptive import george_test, pessimism_gap, zheng_shin_test
+from .edf_rta import edf_response_time, edf_rta
+from .priority import (
+    assign_audsley,
+    assign_deadline_monotonic,
+    assign_dj_monotonic,
+    assign_rate_monotonic,
+    priorities_are_dm,
+    priorities_are_rm,
+)
+from .results import AnalysisResult, FeasibilityResult, ResponseTime
+from .sensitivity import (
+    breakdown_utilization,
+    critical_scaling_factor,
+    scale_execution_times,
+)
+from .rta_fixed import (
+    feasible_at_lowest_nonpreemptive,
+    nonpreemptive_response_time,
+    nonpreemptive_rta,
+    preemptive_response_time,
+    preemptive_response_time_arbitrary,
+    preemptive_rta,
+)
+from .task import Task, TaskSet, make_taskset
+from .timeops import (
+    DivergedError,
+    ceil_div,
+    fixed_point,
+    floor_div,
+    hyperperiod,
+    lcm_all,
+    pos,
+)
+from .utilization import (
+    UtilizationResult,
+    density_test,
+    edf_utilization_test,
+    hyperbolic_test,
+    liu_layland_bound,
+    rm_utilization_test,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "DivergedError",
+    "FeasibilityResult",
+    "ResponseTime",
+    "Task",
+    "TaskSet",
+    "UtilizationResult",
+    "assign_audsley",
+    "assign_deadline_monotonic",
+    "assign_dj_monotonic",
+    "assign_rate_monotonic",
+    "blocking_from",
+    "breakdown_utilization",
+    "critical_scaling_factor",
+    "scale_execution_times",
+    "ceil_div",
+    "dbf",
+    "dbf_with_jitter",
+    "deadline_points",
+    "demand_horizon",
+    "density_test",
+    "edf_blocking_at",
+    "edf_response_time",
+    "edf_rta",
+    "edf_utilization_test",
+    "feasible_at_lowest_nonpreemptive",
+    "fixed_point",
+    "floor_div",
+    "george_test",
+    "hyperbolic_test",
+    "hyperperiod",
+    "lcm_all",
+    "liu_layland_bound",
+    "make_taskset",
+    "nonpreemptive_blocking",
+    "nonpreemptive_response_time",
+    "nonpreemptive_rta",
+    "pessimism_gap",
+    "pos",
+    "preemptive_response_time",
+    "preemptive_response_time_arbitrary",
+    "preemptive_rta",
+    "priorities_are_dm",
+    "priorities_are_rm",
+    "processor_demand_test",
+    "qpa_test",
+    "rm_utilization_test",
+    "synchronous_busy_period",
+    "zheng_shin_test",
+]

@@ -1,0 +1,57 @@
+"""Blocking factors for non-preemptive scheduling — eq. (2) of the paper.
+
+In a non-preemptive system a just-started lower-priority task (or message
+cycle) runs to completion, delaying a higher-priority one.  Eq. (2) bounds
+this priority inversion by the longest lower-priority execution:
+
+    Bᵢ = max_{j ∈ lp(i)} Cⱼ
+
+We also provide the "minus one tick" refinement used by George et al. in
+the non-preemptive EDF analysis (a blocking job must have *started*
+strictly before the instant of interest, so with integer time it can
+contribute at most ``Cⱼ − 1``), selectable via ``subtract_one``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .task import Task, TaskSet
+from .timeops import Number
+
+
+def blocking_from(
+    lower: Iterable[Task],
+    subtract_one: bool = False,
+) -> Number:
+    """Largest C among ``lower`` (eq. (2)); 0 when there is none."""
+    best: Optional[Number] = None
+    for t in lower:
+        c = t.C - 1 if subtract_one else t.C
+        if best is None or c > best:
+            best = c
+    if best is None:
+        return 0
+    return best if best > 0 else 0
+
+
+def nonpreemptive_blocking(
+    taskset: TaskSet, task: Task, subtract_one: bool = False
+) -> Number:
+    """Eq. (2): ``Bᵢ = max_{j∈lp(i)} Cⱼ`` for an assigned-priority set."""
+    return blocking_from(taskset.lp(task), subtract_one=subtract_one)
+
+
+def edf_blocking_at(
+    taskset: TaskSet, deadline: Number, subtract_one: bool = True
+) -> Number:
+    """Blocking for EDF at absolute-deadline horizon ``deadline``.
+
+    Only tasks whose relative deadline exceeds ``deadline`` can cause a
+    priority inversion against work due by ``deadline`` (they would be
+    dispatched only because of non-preemptability).  Used by eq. (5) and
+    the eq. (9) recursion.
+    """
+    return blocking_from(
+        (t for t in taskset if t.D > deadline), subtract_one=subtract_one
+    )

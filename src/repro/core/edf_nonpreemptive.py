@@ -1,0 +1,107 @@
+"""Non-preemptive EDF feasibility — eqs. (4) and (5) of the paper.
+
+Two sufficient tests for non-preemptive, non-idling EDF:
+
+* **Zheng & Shin** [25, 30] (eq. (4)): charge the *longest task in the
+  whole set* as blocking at every point,
+
+      ∀t ≥ min Dᵢ:   dbf(t) + max_{i=1..n} Cᵢ ≤ t
+
+* **George, Rivierre & Spuri** [31] (eq. (5)): only a task whose
+  *relative deadline exceeds t* can block demand due by ``t``, and it
+  must have started strictly before the interval, hence the ``−1``:
+
+      ∀t ∈ S:   dbf(t) + max_{i: Dᵢ > t} (Cᵢ − 1) ≤ t
+
+  (the max is 0 when no such task exists).  Eq. (5) dominates eq. (4) —
+  never more pessimistic — which the test suite checks by property.
+
+Both are checked over the deadline points up to the non-preemptive busy
+period (busy period seeded with the largest blocking) — a safe horizon
+for these inequalities.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .blocking import edf_blocking_at
+from .busy_period import demand_horizon, synchronous_busy_period
+from .demand import dbf, deadline_points
+from .results import FeasibilityResult
+from .task import TaskSet
+from .timeops import Number
+
+
+def _np_horizon(taskset: TaskSet) -> Number:
+    """Check horizon: busy period including the worst initial blocking.
+
+    For ``U == 1`` the blocking-seeded busy period is unbounded; there we
+    use periodicity instead: ``dbf(t + H) − (t + H) = dbf(t) − t`` over a
+    hyperperiod ``H`` and the blocking terms are constant beyond
+    ``max Dᵢ``, so scanning one busy period past the largest deadline is
+    exhaustive.
+    """
+    if taskset.utilization > 1.0 + 1e-12:
+        raise ValueError("utilisation > 1")
+    b = max(t.C for t in taskset)
+    if taskset.utilization > 1.0 - 1e-12:
+        return synchronous_busy_period(taskset) + max(t.D for t in taskset)
+    long_bp = synchronous_busy_period(taskset, blocking=b)
+    return max(long_bp, demand_horizon(taskset))
+
+
+def _scan(
+    taskset: TaskSet,
+    blocking_at: Callable[[Number], Number],
+    test_name: str,
+) -> FeasibilityResult:
+    if taskset.utilization > 1.0 + 1e-12:
+        return FeasibilityResult(schedulable=False, test=test_name)
+    horizon = _np_horizon(taskset)
+    checked = 0
+    for t in deadline_points(taskset, horizon):
+        checked += 1
+        demand = dbf(taskset, t) + blocking_at(t)
+        if demand > t:
+            return FeasibilityResult(
+                schedulable=False,
+                test=test_name,
+                failure_time=t,
+                failure_demand=demand,
+                checked_points=checked,
+                horizon=horizon,
+            )
+    return FeasibilityResult(
+        schedulable=True, test=test_name, checked_points=checked, horizon=horizon
+    )
+
+
+def zheng_shin_test(taskset: TaskSet) -> FeasibilityResult:
+    """Eq. (4): demand + global-longest-task blocking at every point."""
+    cmax = max(t.C for t in taskset)
+    return _scan(taskset, lambda t: cmax, "np-edf-zheng-shin")
+
+
+def george_test(taskset: TaskSet) -> FeasibilityResult:
+    """Eq. (5): demand + ``max_{Dᵢ>t}(Cᵢ−1)`` blocking (less pessimistic)."""
+    return _scan(
+        taskset,
+        lambda t: edf_blocking_at(taskset, t, subtract_one=True),
+        "np-edf-george",
+    )
+
+
+def pessimism_gap(taskset: TaskSet) -> dict:
+    """Diagnostic: per-check-point slack difference between eq. (4) and
+    eq. (5); used by the ablation bench.  Returns the maximum extra
+    blocking eq. (4) charges over eq. (5) across the scan horizon."""
+    horizon = _np_horizon(taskset)
+    cmax = max(t.C for t in taskset)
+    worst_gap: Number = 0
+    at = None
+    for t in deadline_points(taskset, horizon):
+        g = cmax - edf_blocking_at(taskset, t, subtract_one=True)
+        if g > worst_gap:
+            worst_gap, at = g, t
+    return {"max_gap": worst_gap, "at": at, "horizon": horizon}

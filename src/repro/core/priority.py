@@ -1,0 +1,110 @@
+"""Priority assignment policies.
+
+The paper (§2) uses two fixed-priority assignments:
+
+* **Rate monotonic (RM)** — shorter period ⇒ higher priority (Liu &
+  Layland [21]);
+* **Deadline monotonic (DM)** — shorter relative deadline ⇒ higher
+  priority (Burns [20]).
+
+We also provide **Audsley's optimal priority assignment (OPA)**, which is
+optimal for any analysis that is independent of the relative order of
+higher-priority tasks — in particular the non-preemptive response-time
+test of eq. (1)-(2) used for the PROFIBUS message analysis.  OPA is the
+natural "extension/future-work" companion: it finds a feasible priority
+order whenever one exists for such tests.
+
+Priorities are integers with **lower number = higher priority**; ties are
+broken by position in the task set so assignments are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .task import Task, TaskSet
+
+
+def assign_rate_monotonic(taskset: TaskSet) -> TaskSet:
+    """Assign RM priorities: shorter period ⇒ higher priority."""
+    order = sorted(range(taskset.n), key=lambda i: (taskset[i].T, i))
+    return _apply_order(taskset, order)
+
+
+def assign_deadline_monotonic(taskset: TaskSet) -> TaskSet:
+    """Assign DM priorities: shorter relative deadline ⇒ higher priority."""
+    order = sorted(range(taskset.n), key=lambda i: (taskset[i].D, i))
+    return _apply_order(taskset, order)
+
+
+def assign_dj_monotonic(taskset: TaskSet) -> TaskSet:
+    """Assign (D − J)-monotonic priorities.
+
+    With release jitter, plain DM is no longer the optimal fixed-priority
+    order; ordering by ``D − J`` is (Zuhily & Burns) — a task that can
+    lose most of its deadline to jitter is effectively more urgent.
+    Coincides with DM when no task has jitter.
+    """
+    order = sorted(
+        range(taskset.n), key=lambda i: (taskset[i].D - taskset[i].J, i)
+    )
+    return _apply_order(taskset, order)
+
+
+def _apply_order(taskset: TaskSet, order: List[int]) -> TaskSet:
+    prio_of = {idx: prio for prio, idx in enumerate(order)}
+    return TaskSet(
+        taskset[i].with_priority(prio_of[i]) for i in range(taskset.n)
+    )
+
+
+def assign_audsley(
+    taskset: TaskSet,
+    feasible_at: Callable[[Task, List[Task], List[Task]], bool],
+) -> Optional[TaskSet]:
+    """Audsley's optimal priority assignment.
+
+    ``feasible_at(task, higher, lower)`` must answer: is ``task``
+    schedulable with every task in ``higher`` at higher priority and
+    every task in ``lower`` at lower priority?  The test must not depend
+    on the relative order *within* either group (true for the
+    response-time tests in :mod:`repro.core.rta_fixed`: interference
+    sums over ``higher``, blocking takes a max over ``lower``).
+
+    Returns a TaskSet with a feasible priority assignment, or ``None``
+    when no assignment passes the supplied test.
+    """
+    remaining = list(range(taskset.n))
+    lower: List[Task] = []  # already placed below the current slot
+    prio_of = {}
+    for prio in range(taskset.n - 1, -1, -1):
+        placed = None
+        for idx in remaining:
+            higher = [taskset[j] for j in remaining if j != idx]
+            if feasible_at(taskset[idx], higher, lower):
+                placed = idx
+                break
+        if placed is None:
+            return None
+        remaining.remove(placed)
+        lower.append(taskset[placed])
+        prio_of[placed] = prio
+    return TaskSet(
+        taskset[i].with_priority(prio_of[i]) for i in range(taskset.n)
+    )
+
+
+def priorities_are_dm(taskset: TaskSet) -> bool:
+    """True when the assigned priorities are consistent with DM order."""
+    ordered = sorted(taskset.tasks, key=lambda t: t.priority)
+    return all(
+        ordered[i].D <= ordered[i + 1].D for i in range(len(ordered) - 1)
+    )
+
+
+def priorities_are_rm(taskset: TaskSet) -> bool:
+    """True when the assigned priorities are consistent with RM order."""
+    ordered = sorted(taskset.tasks, key=lambda t: t.priority)
+    return all(
+        ordered[i].T <= ordered[i + 1].T for i in range(len(ordered) - 1)
+    )

@@ -1,0 +1,87 @@
+"""Result dataclasses shared by the analysis modules.
+
+Analyses return structured results rather than bare numbers so that the
+benchmark harness and the tests can interrogate per-task detail
+(response time vs deadline, iteration counts, which test failed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .task import Task
+from .timeops import Number
+
+
+@dataclass(frozen=True)
+class ResponseTime:
+    """Worst-case response time of one task / message stream."""
+
+    task: Task
+    value: Optional[Number]  # None when the iteration exceeded its limit
+    iterations: int = 0
+    #: For EDF analyses: the release offset ``a`` attaining the maximum.
+    critical_a: Optional[Number] = None
+
+    @property
+    def schedulable(self) -> bool:
+        return self.value is not None and self.value <= self.task.D
+
+    @property
+    def slack(self) -> Optional[Number]:
+        if self.value is None:
+            return None
+        return self.task.D - self.value
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Outcome of a whole-set schedulability analysis."""
+
+    schedulable: bool
+    per_task: Sequence[ResponseTime] = field(default_factory=tuple)
+    test: str = ""
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.schedulable
+
+    def response(self, name: str) -> ResponseTime:
+        for rt in self.per_task:
+            if rt.task.name == name:
+                return rt
+        raise KeyError(name)
+
+    @property
+    def worst_response(self) -> Optional[Number]:
+        values = [rt.value for rt in self.per_task if rt.value is not None]
+        return max(values) if values else None
+
+    def summary(self) -> List[str]:
+        """Human-readable per-task lines (used by the CLI and examples)."""
+        lines = []
+        for rt in self.per_task:
+            r = "∞" if rt.value is None else f"{rt.value}"
+            mark = "ok" if rt.schedulable else "MISS"
+            lines.append(
+                f"{rt.task.name or '<unnamed>'}: R={r} D={rt.task.D} [{mark}]"
+            )
+        return lines
+
+
+@dataclass(frozen=True)
+class FeasibilityResult:
+    """Outcome of a demand-style feasibility test (no per-task response)."""
+
+    schedulable: bool
+    test: str
+    #: First time point at which the demand inequality failed, if any.
+    failure_time: Optional[Number] = None
+    #: Demand measured at the failure point.
+    failure_demand: Optional[Number] = None
+    checked_points: int = 0
+    horizon: Optional[Number] = None
+
+    def __bool__(self) -> bool:
+        return self.schedulable

@@ -1,0 +1,76 @@
+"""Sensitivity analysis: how far is a system from the schedulability edge?
+
+Two standard figures of merit, both extensions beyond the paper (used by
+the E5 bench and useful to anyone deploying its analyses):
+
+* **Critical scaling factor** — the largest ``α`` such that the task set
+  with every execution time scaled to ``α·Cᵢ`` stays schedulable under a
+  given test (Lehoczky et al.'s notion).  ``α > 1`` means headroom,
+  ``α < 1`` means overload.  Computed by binary search over a monotone
+  feasibility predicate (all tests in this library are monotone in C).
+* **Breakdown utilisation** — the utilisation at the critical scaling
+  factor, ``α · U``.
+
+The search works on integer time by scaling through exact rationals and
+rounding C *up* (so the reported factor is never optimistic).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Optional
+
+from .task import Task, TaskSet
+
+
+def scale_execution_times(taskset: TaskSet, factor: Fraction) -> TaskSet:
+    """Every C scaled by ``factor``, rounded up, floored at 1."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    out = []
+    for t in taskset:
+        c = -((-t.C * factor.numerator) // factor.denominator)  # ceil
+        out.append(Task(C=max(1, int(c)), T=t.T, D=t.D, J=t.J,
+                        priority=t.priority, name=t.name))
+    return TaskSet(out)
+
+
+def critical_scaling_factor(
+    taskset: TaskSet,
+    is_schedulable: Callable[[TaskSet], bool],
+    precision: Fraction = Fraction(1, 128),
+    upper: Fraction = Fraction(8),
+) -> Optional[Fraction]:
+    """Largest ``α`` (within ``precision``) keeping the set schedulable.
+
+    Returns ``None`` when the set is unschedulable even at the smallest
+    probe (``precision`` itself).  The predicate must be monotone
+    decreasing in the execution times (true for every test here).
+    """
+    if precision <= 0:
+        raise ValueError("precision must be positive")
+    if not is_schedulable(scale_execution_times(taskset, precision)):
+        return None
+    lo = precision
+    hi = upper
+    if is_schedulable(scale_execution_times(taskset, hi)):
+        return hi
+    while hi - lo > precision:
+        mid = (lo + hi) / 2
+        if is_schedulable(scale_execution_times(taskset, mid)):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def breakdown_utilization(
+    taskset: TaskSet,
+    is_schedulable: Callable[[TaskSet], bool],
+    precision: Fraction = Fraction(1, 128),
+) -> Optional[float]:
+    """Utilisation at the critical scaling factor (``α·U``), or None."""
+    alpha = critical_scaling_factor(taskset, is_schedulable, precision)
+    if alpha is None:
+        return None
+    return float(alpha) * taskset.utilization

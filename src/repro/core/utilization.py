@@ -1,0 +1,80 @@
+"""Utilisation-based schedulability tests (§2.1, §2.2 of the paper).
+
+* Liu & Layland's RM bound: ``ΣCᵢ/Tᵢ ≤ n(2^{1/n} − 1)`` — sufficient for
+  preemptive RM with implicit deadlines.
+* The hyperbolic bound (Bini–Buttazzo): ``Π(Uᵢ+1) ≤ 2`` — a strictly less
+  pessimistic sufficient test for the same model (included as the
+  standard refinement; the paper cites only Liu & Layland).
+* EDF: ``ΣCᵢ/Tᵢ ≤ 1`` — exact for preemptive EDF with implicit deadlines.
+
+These are the *cheap* tests; the exact ones live in
+:mod:`repro.core.rta_fixed` and :mod:`repro.core.demand`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .task import TaskSet
+
+
+@dataclass(frozen=True)
+class UtilizationResult:
+    """Outcome of a utilisation-based test."""
+
+    schedulable: bool
+    utilization: float
+    bound: float
+    test: str
+
+    def __bool__(self) -> bool:
+        return self.schedulable
+
+
+def liu_layland_bound(n: int) -> float:
+    """``n (2^{1/n} − 1)``, the RM utilisation bound for ``n`` tasks."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def rm_utilization_test(taskset: TaskSet) -> UtilizationResult:
+    """Liu & Layland sufficient test for preemptive RM.
+
+    Only meaningful for implicit deadlines (``D == T``); a ``ValueError``
+    is raised otherwise, because the bound is unsound for ``D < T``.
+    """
+    for t in taskset:
+        if t.D != t.T:
+            raise ValueError(
+                f"RM utilisation bound requires D == T (task {t.name!r} has D={t.D!r}, T={t.T!r})"
+            )
+    u = taskset.utilization
+    bound = liu_layland_bound(taskset.n)
+    return UtilizationResult(u <= bound, u, bound, "liu-layland")
+
+
+def hyperbolic_test(taskset: TaskSet) -> UtilizationResult:
+    """Bini–Buttazzo hyperbolic sufficient test for preemptive RM."""
+    for t in taskset:
+        if t.D != t.T:
+            raise ValueError("hyperbolic bound requires D == T")
+    prod = math.prod(t.utilization + 1.0 for t in taskset)
+    return UtilizationResult(prod <= 2.0, prod, 2.0, "hyperbolic")
+
+
+def edf_utilization_test(taskset: TaskSet) -> UtilizationResult:
+    """``U ≤ 1`` — exact for preemptive EDF with ``D == T``.
+
+    For ``D < T`` this is only *necessary*; use
+    :func:`repro.core.demand.processor_demand_test` for sufficiency.
+    """
+    u = taskset.utilization
+    return UtilizationResult(u <= 1.0, u, 1.0, "edf-utilization")
+
+
+def density_test(taskset: TaskSet) -> UtilizationResult:
+    """``Σ Cᵢ/min(Dᵢ,Tᵢ) ≤ 1`` — sufficient for preemptive EDF, any D."""
+    d = taskset.density
+    return UtilizationResult(d <= 1.0, d, 1.0, "edf-density")

@@ -1,0 +1,16 @@
+"""Workload generators: UUniFast task sets and random PROFIBUS scenarios."""
+
+from .network_gen import network_with_ttr_headroom, random_network, random_stream
+from .taskset import log_uniform_period, random_taskset, scale_to_utilization
+from .uunifast import uunifast, uunifast_discard
+
+__all__ = [
+    "log_uniform_period",
+    "network_with_ttr_headroom",
+    "random_network",
+    "random_stream",
+    "random_taskset",
+    "scale_to_utilization",
+    "uunifast",
+    "uunifast_discard",
+]

@@ -1,0 +1,104 @@
+"""Random PROFIBUS scenario generation for the E3/E5 benches.
+
+Builds networks with a configurable number of masters, streams per
+master, payload sizes and deadline spread.  Deadlines are drawn so that
+the *interesting* regime is covered: around ``nh · Tcycle`` for a
+reference TTR, where FCFS is marginal and the priority policies can win.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..profibus.cycle import MessageCycleSpec
+from ..profibus.network import Master, Network, Slave
+from ..profibus.phy import PhyParameters
+from ..profibus.stream import MessageStream
+from ..profibus.timing import tdel
+
+
+def random_stream(
+    rng: random.Random,
+    name: str,
+    t_range: Tuple[int, int],
+    d_over_t: Tuple[float, float],
+    payload_range: Tuple[int, int] = (4, 32),
+    high_priority: bool = True,
+) -> MessageStream:
+    """One random stream; D drawn as a fraction of T."""
+    T = rng.randint(*t_range)
+    frac = rng.uniform(*d_over_t)
+    D = max(1, int(T * frac))
+    payload = rng.randint(*payload_range)
+    return MessageStream(
+        name=name,
+        T=T,
+        D=D,
+        high_priority=high_priority,
+        spec=MessageCycleSpec(req_payload=payload, resp_payload=payload),
+    )
+
+
+def random_network(
+    n_masters: int = 3,
+    streams_per_master: int = 4,
+    seed: int = 0,
+    phy: Optional[PhyParameters] = None,
+    period_ms: Tuple[float, float] = (20.0, 500.0),
+    d_over_t: Tuple[float, float] = (0.25, 1.0),
+    low_priority_streams: int = 1,
+    payload_range: Tuple[int, int] = (4, 32),
+) -> Network:
+    """A random network (TTR left unset; derive it per policy).
+
+    Periods are drawn in milliseconds and converted to bit times at the
+    PHY baud rate, so scenarios stay physically meaningful across baud
+    rates.
+    """
+    if n_masters < 1 or streams_per_master < 1:
+        raise ValueError("need at least one master and one stream")
+    phy = phy or PhyParameters()
+    rng = random.Random(seed)
+    bits_per_ms = phy.baud_rate / 1000.0
+    t_range = (
+        max(1, int(period_ms[0] * bits_per_ms)),
+        max(2, int(period_ms[1] * bits_per_ms)),
+    )
+    masters: List[Master] = []
+    for k in range(n_masters):
+        streams = [
+            random_stream(
+                rng,
+                f"m{k}s{i}",
+                t_range,
+                d_over_t,
+                payload_range=payload_range,
+            )
+            for i in range(streams_per_master)
+        ]
+        for i in range(low_priority_streams):
+            streams.append(
+                random_stream(
+                    rng,
+                    f"m{k}low{i}",
+                    t_range,
+                    (1.0, 1.0),
+                    payload_range=payload_range,
+                    high_priority=False,
+                )
+            )
+        masters.append(Master(address=k + 1, streams=tuple(streams)))
+    slaves = tuple(
+        Slave(address=100 + i) for i in range(n_masters * streams_per_master // 2)
+    )
+    return Network(masters=tuple(masters), slaves=slaves, phy=phy)
+
+
+def network_with_ttr_headroom(
+    network: Network, headroom: float = 2.0
+) -> Network:
+    """Attach a TTR of ``headroom × max(ring latency, Tdel)`` — a neutral
+    operating point for simulation experiments that do not sweep TTR."""
+    base = max(network.ring_latency(), tdel(network))
+    return network.with_ttr(max(network.ring_latency(), int(base * headroom)))

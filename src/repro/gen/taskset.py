@@ -1,0 +1,77 @@
+"""Random task-set generation for the §2 evaluation benches.
+
+Period draws are log-uniform over ``[t_min, t_max]`` (Emberson et al.) so
+short and long periods are equally represented per decade; execution
+times come from UUniFast utilisations; deadlines are constrained-
+deadline draws ``D ∈ [C + β·(T − C), T]`` with ``β ∈ [0,1]`` controlling
+tightness.  All times are integers ≥ 1.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from ..core.task import Task, TaskSet
+from .uunifast import uunifast_discard
+
+
+def log_uniform_period(
+    rng: random.Random, t_min: int = 10, t_max: int = 10_000, granularity: int = 1
+) -> int:
+    """One log-uniform integer period in [t_min, t_max]."""
+    if not 0 < t_min <= t_max:
+        raise ValueError("need 0 < t_min <= t_max")
+    value = math.exp(rng.uniform(math.log(t_min), math.log(t_max)))
+    period = max(t_min, min(t_max, int(round(value / granularity)) * granularity))
+    return max(1, period)
+
+
+def random_taskset(
+    n: int,
+    total_u: float,
+    seed: int = 0,
+    t_min: int = 10,
+    t_max: int = 10_000,
+    deadline_beta: Optional[float] = None,
+    jitter_frac: float = 0.0,
+) -> TaskSet:
+    """A random integer task set with utilisation ≈ ``total_u``.
+
+    ``deadline_beta=None`` gives implicit deadlines (D = T); otherwise
+    ``D`` is drawn in ``[C + β(T−C), T]``.  ``jitter_frac > 0`` adds
+    release jitter up to that fraction of the period.  Execution times
+    are rounded *down* (min 1) so the realised utilisation never exceeds
+    the requested one by more than the rounding-up of tiny C's.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = random.Random(seed)
+    utils = uunifast_discard(n, total_u, rng)
+    tasks: List[Task] = []
+    for i, u in enumerate(utils):
+        T = log_uniform_period(rng, t_min, t_max)
+        C = max(1, int(u * T))
+        if deadline_beta is None:
+            D = T
+        else:
+            lo = C + deadline_beta * (T - C)
+            D = rng.randint(max(C, int(lo)), T) if T > C else T
+        J = int(jitter_frac * T) if jitter_frac else 0
+        tasks.append(Task(C=C, T=T, D=D, J=J, name=f"t{i}"))
+    return TaskSet(tasks)
+
+
+def scale_to_utilization(taskset: TaskSet, total_u: float) -> TaskSet:
+    """Rescale execution times so total utilisation ≈ ``total_u``."""
+    current = taskset.utilization
+    if current <= 0:
+        raise ValueError("cannot scale a zero-utilisation set")
+    factor = total_u / current
+    scaled = []
+    for t in taskset:
+        c = max(1, int(round(t.C * factor)))
+        c = min(c, t.D if t.D < t.T else t.T)  # keep C sane
+        scaled.append(Task(C=c, T=t.T, D=t.D, J=t.J, priority=t.priority, name=t.name))
+    return TaskSet(scaled)

@@ -1,0 +1,46 @@
+"""UUniFast utilisation generation (Bini & Buttazzo 2005).
+
+Draws ``n`` per-task utilisations summing exactly to ``U``, uniformly
+over the valid simplex — the standard workload generator for
+schedulability experiments (benches E5/E6).  ``uunifast_discard``
+re-draws until every utilisation is ≤ 1 (needed when ``U > 1`` would
+otherwise produce impossible per-task loads).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+
+def uunifast(n: int, total_u: float, rng: random.Random) -> List[float]:
+    """n utilisations summing to ``total_u`` (classic UUniFast)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if total_u < 0:
+        raise ValueError("total_u must be >= 0")
+    utils = []
+    remaining = total_u
+    for i in range(1, n):
+        nxt = remaining * rng.random() ** (1.0 / (n - i))
+        utils.append(remaining - nxt)
+        remaining = nxt
+    utils.append(remaining)
+    return utils
+
+
+def uunifast_discard(
+    n: int,
+    total_u: float,
+    rng: random.Random,
+    limit: float = 1.0,
+    max_tries: int = 10_000,
+) -> List[float]:
+    """UUniFast with rejection of draws containing a utilisation > limit."""
+    if total_u > n * limit:
+        raise ValueError(f"cannot split U={total_u} into {n} parts <= {limit}")
+    for _ in range(max_tries):
+        utils = uunifast(n, total_u, rng)
+        if all(u <= limit for u in utils):
+            return utils
+    raise RuntimeError("uunifast_discard failed to find a valid draw")

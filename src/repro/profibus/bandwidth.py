@@ -1,0 +1,105 @@
+"""Low-priority bandwidth analysis — the *why* behind a large TTR.
+
+The paper's §5 argues priority dispatching supports tighter deadlines;
+the operational payoff of the resulting TTR headroom (eq. (15) vs the
+binary-searched priority-policy maximum) is bandwidth for low-priority
+traffic.  This module quantifies it.
+
+Model: over any long window, each master receives the token about once
+per rotation.  In a rotation where the token is *early*, the master may
+spend the residual ``TTH = TTR − TRR`` on queued traffic.  The
+guaranteed-available budget per rotation, network-wide, is::
+
+    B_rot = TTR − τ − Σ_k (high-priority demand per rotation)
+
+with ``τ`` the no-load ring latency and the high-priority demand of a
+stream bounded by ``Ch · (Tcycle / T)`` (its share of one rotation at
+the worst token cadence).  The guaranteed low-priority *throughput
+fraction* is then ``B_rot / Tcycle`` — pessimistic but safe, and 0 when
+TTR is at the FCFS eq. (15) knife edge with a loaded network.
+
+This is an extension beyond the paper (flagged as such in DESIGN.md §5);
+the simulator cross-checks it: observed low-priority throughput under
+saturating background lows is never below the guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .network import Network
+from .timing import tcycle as compute_tcycle
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Guaranteed low-priority budget for one network setting."""
+
+    ttr: int
+    tcycle: int
+    ring_latency: int
+    #: Worst-case high-priority transmission demand per token rotation.
+    high_demand_per_rotation: float
+    #: Guaranteed bit-times per rotation available to low-priority traffic.
+    low_budget_per_rotation: float
+
+    @property
+    def low_fraction(self) -> float:
+        """Guaranteed fraction of bus time available to low traffic."""
+        if self.low_budget_per_rotation <= 0:
+            return 0.0
+        return self.low_budget_per_rotation / self.tcycle
+
+
+def high_demand_per_rotation(network: Network, tc: int) -> float:
+    """Σ over high-priority streams of ``Ch · min(1, Tcycle/T)``.
+
+    A stream with period ≥ Tcycle contributes at most one cycle per
+    rotation; faster streams (T < Tcycle) are clamped to one cycle per
+    rotation as well — the MAC cannot serve a stream twice in one visit
+    *and* the late-token rule throttles backlog to one per visit, so one
+    cycle per rotation per stream is the worst sustained demand.
+    """
+    total = 0.0
+    for master in network.masters:
+        for s in master.high_streams:
+            share = min(1.0, tc / s.T)
+            total += s.cycle_bits(network.phy) * share
+    return total
+
+
+def low_priority_bandwidth(
+    network: Network, ttr: Optional[int] = None, refined: bool = False
+) -> BandwidthReport:
+    """Guaranteed low-priority budget at ``ttr`` (default: network's)."""
+    if ttr is None:
+        ttr = network.require_ttr()
+    tc = compute_tcycle(network, ttr, refined=refined)
+    demand = high_demand_per_rotation(network, tc)
+    budget = ttr - network.ring_latency() - demand
+    return BandwidthReport(
+        ttr=ttr,
+        tcycle=tc,
+        ring_latency=network.ring_latency(),
+        high_demand_per_rotation=demand,
+        low_budget_per_rotation=max(0.0, budget),
+    )
+
+
+def bandwidth_advantage(network: Network) -> dict:
+    """Low-priority fraction at each policy's maximum feasible TTR.
+
+    The §5 payoff in one dict: the priority policies' TTR headroom
+    translates directly into guaranteed background bandwidth.
+    """
+    from .ttr import max_feasible_ttr
+
+    out = {}
+    for policy in ("fcfs", "dm", "edf"):
+        best = max_feasible_ttr(network, policy)
+        if best is None:
+            out[policy] = None
+        else:
+            out[policy] = low_priority_bandwidth(network, best).low_fraction
+    return out

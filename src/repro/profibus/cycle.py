@@ -1,0 +1,91 @@
+"""Message-cycle length ``Ch`` — footnote 2 and §3.1 of the paper.
+
+A PROFIBUS *message cycle* is an action frame (request or send/request)
+from a master plus the responder's **immediate** acknowledgement or
+response frame.  The paper requires ``Ch`` to include "request, response,
+turnaround time and maximum allowable retries".
+
+Our model of one attempt::
+
+    attempt = request.bits + tsdr_max + response.bits + tid1
+
+and of a timed-out attempt (no response within the slot time)::
+
+    failed  = request.bits + tsl + tid1
+
+so the worst-case cycle with ``r`` allowed retries (all but the last
+attempt failing, the last succeeding — the standard worst case) is::
+
+    Ch = r * (request.bits + tsl + tid1) + attempt
+
+All values are integer bit times.  ``MessageCycleSpec`` describes the
+cycle logically (payload sizes, retry limit override); ``cycle_time``
+evaluates it against a :class:`~repro.profibus.phy.PhyParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .frames import Frame, frame_for_payload
+from .phy import PhyParameters
+
+
+@dataclass(frozen=True)
+class MessageCycleSpec:
+    """Logical description of one message cycle.
+
+    ``req_payload`` / ``resp_payload`` are user-data byte counts; the
+    smallest legal telegram is chosen for each (a 0-byte response becomes
+    an SD1 acknowledgement; pass ``short_ack=True`` for the 1-character
+    SC acknowledgement instead).
+    """
+
+    req_payload: int = 0
+    resp_payload: int = 0
+    short_ack: bool = False
+    #: Override the network-wide retry limit for this cycle, if not None.
+    max_retry: Optional[int] = None
+
+    def request_frame(self) -> Frame:
+        return frame_for_payload(self.req_payload)
+
+    def response_frame(self) -> Frame:
+        if self.short_ack:
+            if self.resp_payload:
+                raise ValueError("short acknowledgement carries no data")
+            from .frames import SHORT_ACK
+
+            return SHORT_ACK
+        return frame_for_payload(self.resp_payload)
+
+
+def attempt_time(spec: MessageCycleSpec, phy: PhyParameters) -> int:
+    """One successful request/response exchange, in bit times."""
+    return (
+        spec.request_frame().bits
+        + phy.tsdr_max
+        + spec.response_frame().bits
+        + phy.tid1
+    )
+
+
+def failed_attempt_time(spec: MessageCycleSpec, phy: PhyParameters) -> int:
+    """One attempt that times out at the slot time, in bit times."""
+    return spec.request_frame().bits + phy.tsl + phy.tid1
+
+
+def cycle_time(spec: MessageCycleSpec, phy: PhyParameters) -> int:
+    """Worst-case message-cycle length ``Ch`` including retries."""
+    retries = phy.max_retry if spec.max_retry is None else spec.max_retry
+    if retries < 0:
+        raise ValueError("retry count must be >= 0")
+    return retries * failed_attempt_time(spec, phy) + attempt_time(spec, phy)
+
+
+def token_pass_time(phy: PhyParameters) -> int:
+    """Time for a token pass: the SD4 telegram plus the tid2 idle gap."""
+    from .frames import TOKEN_FRAME
+
+    return TOKEN_FRAME.bits + phy.tid2

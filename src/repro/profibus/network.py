@@ -1,0 +1,146 @@
+"""Network model: masters, slaves and the logical ring.
+
+A PROFIBUS network is a set of **master** stations forming a logical
+token ring (token passes in ascending ring order, wrapping around) and
+**slave** stations that only answer.  Each master owns its message
+streams.  The :class:`Network` object carries the PHY parameter set and
+the configured target token-rotation time ``TTR`` and is the single
+input to every analysis in :mod:`repro.profibus` and to the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .cycle import token_pass_time
+from .phy import PhyParameters
+from .stream import MessageStream
+
+
+@dataclass(frozen=True)
+class Master:
+    """A master station and its message streams."""
+
+    address: int
+    streams: Tuple[MessageStream, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= 126:
+            raise ValueError("PROFIBUS addresses are 0..126")
+        streams = tuple(self.streams)
+        object.__setattr__(self, "streams", streams)
+        names = [s.name for s in streams]
+        if len(names) != len(set(names)):
+            raise ValueError(f"master {self.address}: duplicate stream names")
+        if not self.name:
+            object.__setattr__(self, "name", f"M{self.address}")
+
+    @property
+    def high_streams(self) -> Tuple[MessageStream, ...]:
+        return tuple(s for s in self.streams if s.high_priority)
+
+    @property
+    def low_streams(self) -> Tuple[MessageStream, ...]:
+        return tuple(s for s in self.streams if not s.high_priority)
+
+    @property
+    def nh(self) -> int:
+        """Number of high-priority message streams (the paper's ``nh^k``)."""
+        return len(self.high_streams)
+
+    def stream(self, name: str) -> MessageStream:
+        for s in self.streams:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def with_streams(self, streams: Iterable[MessageStream]) -> "Master":
+        return replace(self, streams=tuple(streams))
+
+
+@dataclass(frozen=True)
+class Slave:
+    """A slave station (responder only)."""
+
+    address: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= 126:
+            raise ValueError("PROFIBUS addresses are 0..126")
+        if not self.name:
+            object.__setattr__(self, "name", f"S{self.address}")
+
+
+@dataclass(frozen=True)
+class Network:
+    """A complete network configuration.
+
+    ``masters`` are listed in logical-ring order (the token travels
+    ``masters[0] → masters[1] → … → masters[0]``).  ``ttr`` is the target
+    token-rotation time in bit times; it may be left ``None`` while using
+    :mod:`repro.profibus.ttr` to derive it.
+    """
+
+    masters: Tuple[Master, ...]
+    slaves: Tuple[Slave, ...] = ()
+    phy: PhyParameters = PhyParameters()
+    ttr: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        masters = tuple(self.masters)
+        slaves = tuple(self.slaves)
+        object.__setattr__(self, "masters", masters)
+        object.__setattr__(self, "slaves", slaves)
+        if not masters:
+            raise ValueError("a network needs at least one master")
+        addrs = [m.address for m in masters] + [s.address for s in slaves]
+        if len(addrs) != len(set(addrs)):
+            raise ValueError("duplicate station addresses")
+        if self.ttr is not None and self.ttr <= 0:
+            raise ValueError("ttr must be positive")
+
+    # -- lookups ---------------------------------------------------------
+    @property
+    def n_masters(self) -> int:
+        return len(self.masters)
+
+    def master(self, address: int) -> Master:
+        for m in self.masters:
+            if m.address == address:
+                return m
+        raise KeyError(address)
+
+    def master_named(self, name: str) -> Master:
+        for m in self.masters:
+            if m.name == name:
+                return m
+        raise KeyError(name)
+
+    def all_streams(self) -> List[Tuple[Master, MessageStream]]:
+        return [(m, s) for m in self.masters for s in m.streams]
+
+    def high_stream_count(self) -> int:
+        return sum(m.nh for m in self.masters)
+
+    # -- derived timing --------------------------------------------------
+    def ring_latency(self) -> int:
+        """No-load token rotation time: one token pass per master.
+
+        The analyses require ``TTR`` to be at least this (otherwise the
+        token is *structurally* late every rotation and the late-token
+        rule throttles every master to one message per visit).
+        """
+        return self.n_masters * token_pass_time(self.phy)
+
+    def with_ttr(self, ttr: int) -> "Network":
+        return replace(self, ttr=ttr)
+
+    def require_ttr(self) -> int:
+        if self.ttr is None:
+            raise ValueError(
+                "network.ttr is not set; call with_ttr() or derive one via repro.profibus.ttr"
+            )
+        return self.ttr

@@ -1,0 +1,78 @@
+"""Result types for the PROFIBUS message analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .network import Master
+from .stream import MessageStream
+
+
+@dataclass(frozen=True)
+class StreamResponse:
+    """Worst-case figures for one high-priority message stream."""
+
+    master: str
+    stream: MessageStream
+    #: Worst-case response time R (release → end of message cycle), bit times.
+    R: Optional[int]
+    #: Worst-case queuing delay Q = R − (own transmission bound), bit times.
+    Q: Optional[int] = None
+    #: For EDF: the release offset ``a`` attaining the maximum.
+    critical_a: Optional[int] = None
+
+    @property
+    def schedulable(self) -> bool:
+        return self.R is not None and self.R <= self.stream.D
+
+    @property
+    def slack(self) -> Optional[int]:
+        if self.R is None:
+            return None
+        return self.stream.D - self.R
+
+
+@dataclass(frozen=True)
+class NetworkAnalysis:
+    """Outcome of a whole-network message schedulability analysis."""
+
+    policy: str  # "fcfs" | "dm" | "edf"
+    ttr: int
+    tcycle: int
+    per_stream: Sequence[StreamResponse] = field(default_factory=tuple)
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def schedulable(self) -> bool:
+        return all(sr.schedulable for sr in self.per_stream)
+
+    def __bool__(self) -> bool:
+        return self.schedulable
+
+    def response(self, master: str, stream: str) -> StreamResponse:
+        for sr in self.per_stream:
+            if sr.master == master and sr.stream.name == stream:
+                return sr
+        raise KeyError((master, stream))
+
+    def for_master(self, master: str) -> List[StreamResponse]:
+        return [sr for sr in self.per_stream if sr.master == master]
+
+    @property
+    def worst_response(self) -> Optional[int]:
+        vals = [sr.R for sr in self.per_stream if sr.R is not None]
+        return max(vals) if vals else None
+
+    def summary(self) -> List[str]:
+        lines = [
+            f"policy={self.policy} TTR={self.ttr} Tcycle={self.tcycle} "
+            f"schedulable={self.schedulable}"
+        ]
+        for sr in self.per_stream:
+            r = "∞" if sr.R is None else str(sr.R)
+            mark = "ok" if sr.schedulable else "MISS"
+            lines.append(
+                f"  {sr.master}/{sr.stream.name}: R={r} D={sr.stream.D} [{mark}]"
+            )
+        return lines

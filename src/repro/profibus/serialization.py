@@ -1,0 +1,156 @@
+"""JSON (de)serialisation of network scenarios.
+
+Lets users keep network descriptions in version-controlled files and
+feed them to the CLI (``profibus-rt analyse --file plant.json``).  The
+format mirrors the object model one-to-one::
+
+    {
+      "phy": {"baud_rate": 500000, "tsdr_max": 60, ...},
+      "ttr": 3000,
+      "masters": [
+        {"address": 1, "name": "cell",
+         "streams": [
+            {"name": "axis", "T": 75000, "D": 22500, "J": 0,
+             "high_priority": true,
+             "cycle": {"req_payload": 8, "resp_payload": 0,
+                        "short_ack": true}},
+            {"name": "raw", "T": 10000, "C_bits": 777}
+         ]}
+      ],
+      "slaves": [{"address": 10}]
+    }
+
+Unknown keys raise immediately (typo protection — a silently-ignored
+``"dealine"`` would make an unschedulable plant look fine).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .cycle import MessageCycleSpec
+from .network import Master, Network, Slave
+from .phy import PhyParameters
+from .stream import MessageStream
+
+
+class ScenarioFormatError(ValueError):
+    """Raised for malformed scenario documents."""
+
+
+def _check_keys(obj: Dict[str, Any], allowed, where: str) -> None:
+    unknown = set(obj) - set(allowed)
+    if unknown:
+        raise ScenarioFormatError(
+            f"unknown key(s) {sorted(unknown)} in {where}; allowed: {sorted(allowed)}"
+        )
+
+
+def _phy_from(obj: Dict[str, Any]) -> PhyParameters:
+    fields = {f.name for f in dataclasses.fields(PhyParameters)}
+    _check_keys(obj, fields, "phy")
+    return PhyParameters(**obj)
+
+
+def _cycle_from(obj: Dict[str, Any]) -> MessageCycleSpec:
+    fields = {f.name for f in dataclasses.fields(MessageCycleSpec)}
+    _check_keys(obj, fields, "cycle")
+    return MessageCycleSpec(**obj)
+
+
+def _stream_from(obj: Dict[str, Any]) -> MessageStream:
+    allowed = {"name", "T", "D", "J", "high_priority", "cycle", "C_bits"}
+    _check_keys(obj, allowed, f"stream {obj.get('name', '?')!r}")
+    kwargs = {k: obj[k] for k in ("name", "T", "D", "J", "high_priority",
+                                  "C_bits") if k in obj}
+    if "cycle" in obj:
+        kwargs["spec"] = _cycle_from(obj["cycle"])
+    try:
+        return MessageStream(**kwargs)
+    except TypeError as exc:
+        raise ScenarioFormatError(f"bad stream {obj!r}: {exc}") from exc
+
+
+def _master_from(obj: Dict[str, Any]) -> Master:
+    _check_keys(obj, {"address", "name", "streams"}, "master")
+    return Master(
+        address=obj["address"],
+        name=obj.get("name", ""),
+        streams=tuple(_stream_from(s) for s in obj.get("streams", [])),
+    )
+
+
+def network_from_dict(doc: Dict[str, Any]) -> Network:
+    """Build a :class:`Network` from a parsed scenario document."""
+    if not isinstance(doc, dict):
+        raise ScenarioFormatError("scenario document must be a JSON object")
+    _check_keys(doc, {"phy", "ttr", "masters", "slaves"}, "scenario")
+    if "masters" not in doc:
+        raise ScenarioFormatError("scenario needs a 'masters' list")
+    return Network(
+        masters=tuple(_master_from(m) for m in doc["masters"]),
+        slaves=tuple(
+            Slave(address=s["address"], name=s.get("name", ""))
+            for s in doc.get("slaves", [])
+        ),
+        phy=_phy_from(doc.get("phy", {})),
+        ttr=doc.get("ttr"),
+    )
+
+
+def network_to_dict(network: Network) -> Dict[str, Any]:
+    """Inverse of :func:`network_from_dict` (round-trip safe)."""
+    def stream_doc(s: MessageStream) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": s.name, "T": s.T, "D": s.D}
+        if s.J:
+            out["J"] = s.J
+        if not s.high_priority:
+            out["high_priority"] = False
+        if s.C_bits is not None:
+            out["C_bits"] = s.C_bits
+        else:
+            out["cycle"] = {
+                k: v
+                for k, v in dataclasses.asdict(s.spec).items()
+                if v not in (0, False, None)
+            }
+        return out
+
+    doc: Dict[str, Any] = {
+        "phy": dataclasses.asdict(network.phy),
+        "masters": [
+            {
+                "address": m.address,
+                "name": m.name,
+                "streams": [stream_doc(s) for s in m.streams],
+            }
+            for m in network.masters
+        ],
+    }
+    if network.ttr is not None:
+        doc["ttr"] = network.ttr
+    if network.slaves:
+        doc["slaves"] = [
+            {"address": s.address, "name": s.name} for s in network.slaves
+        ]
+    return doc
+
+
+def load_network(path: Union[str, Path]) -> Network:
+    """Read a scenario file (JSON) into a :class:`Network`."""
+    text = Path(path).read_text()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScenarioFormatError(f"{path}: invalid JSON: {exc}") from exc
+    return network_from_dict(doc)
+
+
+def save_network(network: Network, path: Union[str, Path]) -> None:
+    """Write a :class:`Network` as a scenario file (JSON, stable order)."""
+    Path(path).write_text(
+        json.dumps(network_to_dict(network), indent=2, sort_keys=True) + "\n"
+    )

@@ -1,0 +1,169 @@
+"""Parameter sweeps: design-space exploration over a network.
+
+Answers the questions an engineer deploying the paper's results actually
+asks — *how does schedulability move as I turn the knobs?* — in one call
+each:
+
+* :func:`ttr_sweep` — schedulability and worst response per policy as
+  the TTR grows (eq. (11)/(16)/(17) are monotone in TTR, so this maps
+  each policy's feasible region);
+* :func:`deadline_scale_sweep` — acceptance as every deadline is scaled
+  (the E5 curve for one concrete network);
+* :func:`baud_sweep` — the same network at each standard baud rate
+  (bit-time parameters are baud-invariant, deadlines in seconds are
+  not, so this shows the minimum line speed for a plant).
+
+Rows are plain dataclasses; :func:`rows_to_csv` renders any of them for
+spreadsheet handoff.  Used by the CLI ``sweep`` subcommand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from .network import Master, Network
+from .phy import STANDARD_BAUD_RATES, PhyParameters
+from .stream import MessageStream
+from .ttr import analyse
+
+DEFAULT_POLICIES = ("fcfs", "dm", "edf")
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One (parameter value, policy) observation."""
+
+    parameter: str
+    value: float
+    policy: str
+    schedulable: bool
+    worst_response: Optional[int]
+    worst_slack: Optional[int]
+    tcycle: int
+
+
+def _analyse_row(net: Network, policy: str, parameter: str,
+                 value: float) -> SweepRow:
+    res = analyse(net, policy)
+    slacks = [sr.slack for sr in res.per_stream if sr.slack is not None]
+    return SweepRow(
+        parameter=parameter,
+        value=value,
+        policy=policy,
+        schedulable=res.schedulable,
+        worst_response=res.worst_response,
+        worst_slack=min(slacks) if slacks and res.schedulable else None,
+        tcycle=res.tcycle,
+    )
+
+
+def ttr_sweep(
+    network: Network,
+    ttr_values: Iterable[int],
+    policies: Sequence[str] = DEFAULT_POLICIES,
+) -> List[SweepRow]:
+    """Analyse the network at each TTR (values below the ring latency
+    are reported unschedulable rather than raising)."""
+    rows = []
+    for ttr in ttr_values:
+        for policy in policies:
+            if ttr < network.ring_latency():
+                rows.append(SweepRow("ttr", ttr, policy, False, None, None, 0))
+                continue
+            rows.append(
+                _analyse_row(network.with_ttr(int(ttr)), policy, "ttr", ttr)
+            )
+    return rows
+
+
+def _scale_deadlines(network: Network, factor: float) -> Network:
+    masters = []
+    for m in network.masters:
+        streams = []
+        for s in m.streams:
+            d = max(1, min(s.T, int(s.D * factor)))
+            streams.append(s.with_deadline(d))
+        masters.append(m.with_streams(streams))
+    return Network(masters=tuple(masters), slaves=network.slaves,
+                   phy=network.phy, ttr=network.ttr)
+
+
+def deadline_scale_sweep(
+    network: Network,
+    factors: Iterable[float],
+    policies: Sequence[str] = DEFAULT_POLICIES,
+) -> List[SweepRow]:
+    """Scale every deadline by each factor (clamped to ``[1, T]``)."""
+    rows = []
+    for factor in factors:
+        if factor <= 0:
+            raise ValueError("deadline factors must be positive")
+        scaled = _scale_deadlines(network, factor)
+        for policy in policies:
+            rows.append(_analyse_row(scaled, policy, "deadline_scale", factor))
+    return rows
+
+
+def baud_sweep(
+    network: Network,
+    baud_rates: Iterable[int] = STANDARD_BAUD_RATES,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+) -> List[SweepRow]:
+    """Re-evaluate the network at each baud rate.
+
+    Periods/deadlines/TTR are interpreted as *wall-clock* quantities of
+    the original network, so they are rescaled to keep their duration in
+    seconds while the frame/timer bit counts stay fixed — exactly what
+    changing the line speed of a real plant does.
+    """
+    base_baud = network.phy.baud_rate
+    rows = []
+    for baud in baud_rates:
+        scale = baud / base_baud
+
+        def rescale(v: int) -> int:
+            return max(1, int(round(v * scale)))
+
+        masters = []
+        for m in network.masters:
+            streams = [
+                dataclasses.replace(
+                    s,
+                    T=rescale(s.T),
+                    D=rescale(s.D),
+                    J=int(round(s.J * scale)),
+                )
+                for s in m.streams
+            ]
+            masters.append(m.with_streams(streams))
+        phy = dataclasses.replace(network.phy, baud_rate=baud)
+        net = Network(
+            masters=tuple(masters),
+            slaves=network.slaves,
+            phy=phy,
+            ttr=max(1, rescale(network.require_ttr())),
+        )
+        if net.ttr < net.ring_latency():
+            for policy in policies:
+                rows.append(SweepRow("baud", baud, policy, False, None, None, 0))
+            continue
+        for policy in policies:
+            rows.append(_analyse_row(net, policy, "baud", baud))
+    return rows
+
+
+def rows_to_csv(rows: Sequence[SweepRow]) -> str:
+    """Render sweep rows as CSV (header + one line per row)."""
+    out = io.StringIO()
+    fields = [f.name for f in dataclasses.fields(SweepRow)]
+    out.write(",".join(fields) + "\n")
+    for row in rows:
+        values = []
+        for f in fields:
+            v = getattr(row, f)
+            values.append("" if v is None else str(v))
+        out.write(",".join(values) + "\n")
+    return out.getvalue()

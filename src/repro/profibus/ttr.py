@@ -1,0 +1,101 @@
+"""TTR parameter derivation (§3.4) and its priority-based generalisation.
+
+For FCFS, eq. (15) gives the admissible TTR in closed form
+(:func:`repro.profibus.fcfs.max_feasible_ttr`).  For the §4 priority
+architectures no closed form exists, but every response-time bound in
+eqs. (16)–(18) is **monotone non-decreasing in Tcycle** and hence in
+TTR, so the largest feasible TTR can be found by binary search — that is
+what :func:`max_feasible_ttr` does for any policy.
+
+A *larger* TTR is desirable in practice (more budget per rotation for
+low-priority/background traffic); the benches therefore report the
+maximum feasible TTR per policy as a second figure of merit next to
+response times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .dm import dm_analysis
+from .edf import edf_analysis
+from .fcfs import fcfs_analysis
+from .fcfs import max_feasible_ttr as fcfs_max_ttr
+from .network import Network
+from .results import NetworkAnalysis
+
+_POLICIES: dict = {
+    "fcfs": fcfs_analysis,
+    "dm": dm_analysis,
+    "edf": edf_analysis,
+}
+
+
+def analyse(
+    network: Network,
+    policy: str,
+    ttr: Optional[int] = None,
+    refined: bool = False,
+) -> NetworkAnalysis:
+    """Dispatch to the FCFS / DM / EDF analysis by name."""
+    try:
+        fn = _POLICIES[policy]
+    except KeyError:
+        raise ValueError(f"unknown policy {policy!r}; pick from {sorted(_POLICIES)}")
+    return fn(network, ttr, refined=refined)
+
+
+def schedulable_with_ttr(
+    network: Network, policy: str, ttr: int, refined: bool = False
+) -> bool:
+    """Is the network schedulable under ``policy`` with this TTR?"""
+    if ttr < network.ring_latency():
+        return False
+    return analyse(network, policy, ttr, refined=refined).schedulable
+
+
+def max_feasible_ttr(
+    network: Network,
+    policy: str = "fcfs",
+    refined: bool = False,
+    hi: Optional[int] = None,
+) -> Optional[int]:
+    """Largest TTR (≥ ring latency) keeping ``policy`` schedulable.
+
+    Uses eq. (15) directly for FCFS; binary search on the monotone
+    feasibility predicate for DM/EDF.  Returns ``None`` when even the
+    minimum TTR fails.
+    """
+    lo = network.ring_latency()
+    if policy == "fcfs":
+        closed = fcfs_max_ttr(network, refined=refined)
+        if closed is None or closed < lo:
+            return None
+        # eq. (15) is exact for FCFS, but keep the contract honest:
+        return closed
+    if not schedulable_with_ttr(network, policy, lo, refined=refined):
+        return None
+    if hi is None:
+        hi = max(
+            (s.D for m in network.masters for s in m.high_streams),
+            default=lo,
+        )
+        hi = max(hi, lo)
+    # Invariant: lo feasible. Grow hi until infeasible or proven maximal.
+    if schedulable_with_ttr(network, policy, hi, refined=refined):
+        return hi
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if schedulable_with_ttr(network, policy, mid, refined=refined):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def ttr_advantage(network: Network, refined: bool = False) -> dict:
+    """Per-policy maximum feasible TTR — the §5 claim as one table row."""
+    return {
+        policy: max_feasible_ttr(network, policy, refined=refined)
+        for policy in ("fcfs", "dm", "edf")
+    }

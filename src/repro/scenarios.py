@@ -1,0 +1,148 @@
+"""Reference scenarios used by the examples, tests and benches.
+
+The paper evaluates no concrete network, so these scenarios are our
+documented stand-ins (DESIGN.md, substitutions): a small factory cell
+with sensor/actuator traffic shaped like the DCCS applications the
+paper's introduction motivates.  All scenarios are deterministic.
+
+The factory cell is deliberately tuned to the *interesting* regime: with
+the recommended ``TTR`` the stock FCFS queue misses the tightest
+deadlines while the §4 priority architectures meet them — the paper's
+§5 claim in one object.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .profibus.cycle import MessageCycleSpec
+from .profibus.network import Master, Network, Slave
+from .profibus.phy import PhyParameters
+from .profibus.stream import MessageStream
+
+#: Bit times per millisecond at 1.5 Mbit/s.
+_MS_1M5 = 1500
+#: Bit times per millisecond at 500 kbit/s.
+_MS_500K = 500
+
+
+def paper_illustration_network() -> Network:
+    """The §3.3 illustration: a ring of masters where one TTH overrun
+    plus one high-priority message per following master defines Tdel.
+
+    Three masters, 500 kbit/s; master M1 carries a long low-priority
+    stream (the overrunner), all masters carry high-priority traffic.
+    """
+    phy = PhyParameters(baud_rate=500_000)
+    ms = _MS_500K
+    m1 = Master(
+        1,
+        (
+            MessageStream("alarm", T=100 * ms, D=60 * ms,
+                          spec=MessageCycleSpec(req_payload=2, resp_payload=2)),
+            MessageStream("bulk", T=100 * ms, D=100 * ms, high_priority=False,
+                          spec=MessageCycleSpec(req_payload=200, resp_payload=8)),
+        ),
+    )
+    m2 = Master(
+        2,
+        (
+            MessageStream("sensor", T=80 * ms, D=80 * ms,
+                          spec=MessageCycleSpec(req_payload=0, resp_payload=8)),
+        ),
+    )
+    m3 = Master(
+        3,
+        (
+            MessageStream("actuator", T=90 * ms, D=45 * ms,
+                          spec=MessageCycleSpec(req_payload=8, resp_payload=0,
+                                                short_ack=True)),
+        ),
+    )
+    return Network(masters=(m1, m2, m3),
+                   slaves=(Slave(10), Slave(11), Slave(12)),
+                   phy=phy)
+
+
+#: Recommended TTR (bit times) for :func:`factory_cell_network` — the
+#: operating point at which FCFS fails and DM/EDF succeed.
+FACTORY_CELL_TTR = 3000
+
+
+def factory_cell_network(ttr: Optional[int] = FACTORY_CELL_TTR) -> Network:
+    """A 4-master factory cell at 1.5 Mbit/s (the E2/E3 reference).
+
+    * ``cell`` — cell controller: axis set-points with a tight deadline,
+      an alarm poll, and a slow status exchange;
+    * ``plc`` — medium-rate I/O scans plus a command channel;
+    * ``robot`` — position updates and a tight gripper command;
+    * ``supervisor`` — slow trend acquisition plus low-priority logging
+      (the long cycle that drives the TTH-overrun term of eq. (13)).
+
+    With the default ``TTR`` (= :data:`FACTORY_CELL_TTR`): FCFS misses
+    the ``axis-setpoint`` deadline (eq. (11) gives 3·Tcycle ≈ 18 ms
+    against D = 15 ms) while DM and EDF meet every deadline.
+    """
+    phy = PhyParameters(baud_rate=1_500_000)
+    ms = _MS_1M5
+    m1 = Master(1, (
+        MessageStream("axis-setpoint", T=50 * ms, D=15 * ms,
+                      spec=MessageCycleSpec(req_payload=8, resp_payload=0,
+                                            short_ack=True)),
+        MessageStream("alarm-poll", T=80 * ms, D=30 * ms,
+                      spec=MessageCycleSpec(req_payload=0, resp_payload=4)),
+        MessageStream("cell-status", T=100 * ms, D=100 * ms,
+                      spec=MessageCycleSpec(req_payload=16, resp_payload=16)),
+    ), name="cell")
+    m2 = Master(2, (
+        MessageStream("io-scan-a", T=60 * ms, D=60 * ms,
+                      spec=MessageCycleSpec(req_payload=0, resp_payload=16)),
+        MessageStream("io-scan-b", T=60 * ms, D=60 * ms,
+                      spec=MessageCycleSpec(req_payload=0, resp_payload=16)),
+        MessageStream("io-cmd", T=80 * ms, D=25 * ms,
+                      spec=MessageCycleSpec(req_payload=8, resp_payload=0,
+                                            short_ack=True)),
+    ), name="plc")
+    m3 = Master(3, (
+        MessageStream("pose-update", T=40 * ms, D=40 * ms,
+                      spec=MessageCycleSpec(req_payload=24, resp_payload=4)),
+        MessageStream("grip-cmd", T=90 * ms, D=20 * ms,
+                      spec=MessageCycleSpec(req_payload=4, resp_payload=0,
+                                            short_ack=True)),
+    ), name="robot")
+    m4 = Master(4, (
+        MessageStream("trend", T=200 * ms, D=200 * ms,
+                      spec=MessageCycleSpec(req_payload=0, resp_payload=64)),
+        MessageStream("log-upload", T=500 * ms, D=500 * ms, high_priority=False,
+                      spec=MessageCycleSpec(req_payload=128, resp_payload=8)),
+    ), name="supervisor")
+    net = Network(masters=(m1, m2, m3, m4),
+                  slaves=tuple(Slave(20 + i) for i in range(6)),
+                  phy=phy)
+    if ttr is not None:
+        net = net.with_ttr(ttr)
+    return net
+
+
+def single_master_network(n_streams: int = 5, ttr: int = 500) -> Network:
+    """One master at 500 kbit/s with a 1:5 deadline spread — isolates the
+    queueing-policy effect (no multi-master token dynamics).
+
+    Defaults put the tightest stream between ``2·Tcycle`` (DM/EDF bound)
+    and ``nh·Tcycle`` (FCFS bound), so the policies separate cleanly.
+    """
+    ms = _MS_500K
+    streams = tuple(
+        MessageStream(
+            f"s{i}",
+            T=(20 + 10 * i) * ms,
+            D=(5 + 5 * i) * ms,
+            spec=MessageCycleSpec(req_payload=8, resp_payload=8),
+        )
+        for i in range(n_streams)
+    )
+    return Network(
+        masters=(Master(1, streams),),
+        phy=PhyParameters(baud_rate=500_000),
+        ttr=ttr,
+    )

@@ -1,0 +1,129 @@
+"""Bus event tracing: what actually happened on the wire.
+
+Attach a :class:`BusTrace` to a :class:`~repro.sim.token.TokenBusConfig`
+and the simulator records every token arrival, token pass and message
+cycle.  Useful for debugging analyses, for the examples, and for the
+ASCII timeline renderer (:func:`render_timeline`) which makes a token
+rotation visible at a glance::
+
+    0        [M1 tok] (M1 high axis.....) [M2 tok] (M2 low bulk.......)
+
+Events are plain tuples in time order; the trace is bounded
+(``max_events``) so a runaway simulation cannot eat memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: event kinds
+TOKEN_ARRIVAL = "token_arrival"
+CYCLE_START = "cycle_start"
+CYCLE_END = "cycle_end"
+
+
+@dataclass(frozen=True)
+class BusEvent:
+    """One observed bus event."""
+
+    time: int
+    kind: str  # TOKEN_ARRIVAL | CYCLE_START | CYCLE_END
+    master: str
+    #: stream name for message cycles; "" for token events and synthetic
+    #: background low-priority cycles.
+    stream: str = ""
+    high_priority: bool = True
+    #: for TOKEN_ARRIVAL: the measured TRR; for CYCLE_*: the cycle length.
+    value: int = 0
+
+
+@dataclass
+class BusTrace:
+    """Recorder passed to the simulator via ``TokenBusConfig.tracer``."""
+
+    max_events: int = 100_000
+    events: List[BusEvent] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, event: BusEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    # -- queries ----------------------------------------------------------
+    def of_kind(self, kind: str) -> List[BusEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def token_arrivals(self, master: Optional[str] = None) -> List[BusEvent]:
+        return [
+            e for e in self.of_kind(TOKEN_ARRIVAL)
+            if master is None or e.master == master
+        ]
+
+    def cycles(self, master: Optional[str] = None) -> List[Tuple[BusEvent, BusEvent]]:
+        """Paired (start, end) message-cycle events, in time order."""
+        out = []
+        open_start: Optional[BusEvent] = None
+        for e in self.events:
+            if e.kind == CYCLE_START and (master is None or e.master == master):
+                open_start = e
+            elif e.kind == CYCLE_END and open_start is not None and (
+                master is None or e.master == master
+            ):
+                out.append((open_start, e))
+                open_start = None
+        return out
+
+    def bus_utilisation(self) -> float:
+        """Fraction of traced time spent inside message cycles."""
+        if not self.events:
+            return 0.0
+        span = self.events[-1].time - self.events[0].time
+        if span <= 0:
+            return 0.0
+        busy = sum(end.time - start.time for start, end in self.cycles())
+        return busy / span
+
+
+def render_timeline(
+    trace: BusTrace,
+    start: int = 0,
+    end: Optional[int] = None,
+    width: int = 100,
+) -> str:
+    """ASCII timeline of the trace window ``[start, end]``.
+
+    One row per master; token arrivals are ``|``, high-priority cycles
+    fill with ``#``, low-priority cycles with ``.``.
+    """
+    events = [e for e in trace.events if e.time >= start
+              and (end is None or e.time <= end)]
+    if not events:
+        return "(empty trace window)"
+    if end is None:
+        end = events[-1].time
+    span = max(1, end - start)
+    masters = sorted({e.master for e in events})
+    rows = {m: [" "] * width for m in masters}
+
+    def col(t: int) -> int:
+        return min(width - 1, int((t - start) * width / span))
+
+    for ev in events:
+        if ev.kind == TOKEN_ARRIVAL:
+            rows[ev.master][col(ev.time)] = "|"
+    for s, e in BusTrace(events=events, max_events=len(events) + 1).cycles():
+        c0, c1 = col(s.time), max(col(s.time), col(e.time))
+        fill = "#" if s.high_priority else "."
+        for i in range(c0, c1 + 1):
+            if rows[s.master][i] == " ":
+                rows[s.master][i] = fill
+    label_w = max(len(m) for m in masters) + 1
+    lines = [f"{'':<{label_w}}t={start} .. t={end}"]
+    for m in masters:
+        lines.append(f"{m:<{label_w}}" + "".join(rows[m]))
+    lines.append(f"{'':<{label_w}}'|' token arrival, '#' high cycle, "
+                 f"'.' low cycle")
+    return "\n".join(lines)

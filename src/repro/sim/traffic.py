@@ -1,0 +1,132 @@
+"""Traffic generation: when do message requests arrive?
+
+Each stream gets a :class:`ReleasePattern` that turns ``(offset, period,
+jitter, mode)`` into a deterministic series of release instants:
+
+* ``periodic`` — ``offset + k·T (+ jitter_k)``;
+* ``sporadic`` — inter-arrival ``T + extra_k`` with ``extra_k`` drawn
+  uniformly from ``[0, gap_scale·T]`` (minimum separation ``T`` kept, as
+  the sporadic model requires).
+
+``jitter_k`` is drawn uniformly from ``{0..J}`` with a per-stream RNG
+seeded from ``(seed, stream)``, so patterns are reproducible and
+independent of each other.  ``adversarial=True`` forces ``jitter_k = J``
+for the *first* release and 0 afterwards — the worst-case phasing used
+when stressing analytic bounds.
+
+Offsets helpers:
+
+* :func:`synchronous_offsets` — everything at t=0 (the fixed-priority
+  critical instant);
+* :func:`staggered_offsets` — spread arrivals to de-correlate streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from ..profibus.network import Network
+
+
+@dataclass(frozen=True)
+class ReleasePattern:
+    """Release-instant series for one stream."""
+
+    period: int
+    offset: int = 0
+    jitter: int = 0
+    mode: str = "periodic"  # "periodic" | "sporadic"
+    seed: int = 0
+    gap_scale: float = 0.5
+    adversarial: bool = False
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be > 0")
+        if self.offset < 0 or self.jitter < 0:
+            raise ValueError("offset and jitter must be >= 0")
+        if self.mode not in ("periodic", "sporadic"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+    def releases(self, horizon: int) -> Iterator[int]:
+        """Yield release instants ≤ horizon, strictly increasing order is
+        *not* guaranteed under jitter (a late k-th release can pass an
+        early (k+1)-th notional arrival), matching the real phenomenon —
+        consumers must tolerate that."""
+        rng = random.Random(self.seed)
+        if self.mode == "periodic":
+            k = 0
+            while True:
+                notional = self.offset + k * self.period
+                if notional > horizon:
+                    return
+                if self.jitter:
+                    if self.adversarial:
+                        j = self.jitter if k == 0 else 0
+                    else:
+                        j = rng.randint(0, self.jitter)
+                else:
+                    j = 0
+                t = notional + j
+                if t <= horizon:
+                    yield t
+                k += 1
+        else:  # sporadic
+            t = self.offset
+            if self.jitter:
+                t += rng.randint(0, self.jitter)
+            while t <= horizon:
+                yield t
+                gap = self.period + int(rng.uniform(0, self.gap_scale * self.period))
+                t += gap
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Per-network traffic setup: a pattern per (master, stream)."""
+
+    patterns: Dict[str, ReleasePattern]
+
+    @staticmethod
+    def key(master_name: str, stream_name: str) -> str:
+        return f"{master_name}/{stream_name}"
+
+    def pattern_for(self, master_name: str, stream_name: str) -> ReleasePattern:
+        return self.patterns[self.key(master_name, stream_name)]
+
+
+def synchronous_offsets(
+    network: Network,
+    seed: int = 0,
+    jitter: bool = False,
+    sporadic: bool = False,
+) -> TrafficConfig:
+    """All streams released together at t=0 at their maximum rate."""
+    patterns = {}
+    for m in network.masters:
+        for s in m.streams:
+            patterns[TrafficConfig.key(m.name, s.name)] = ReleasePattern(
+                period=s.T,
+                offset=0,
+                jitter=s.J if jitter else 0,
+                mode="sporadic" if sporadic else "periodic",
+                seed=hash((seed, m.name, s.name)) & 0x7FFFFFFF,
+            )
+    return TrafficConfig(patterns)
+
+
+def staggered_offsets(network: Network, seed: int = 0) -> TrafficConfig:
+    """Random offsets in ``[0, T)`` per stream (average-case phasing)."""
+    rng = random.Random(seed)
+    patterns = {}
+    for m in network.masters:
+        for s in m.streams:
+            patterns[TrafficConfig.key(m.name, s.name)] = ReleasePattern(
+                period=s.T,
+                offset=rng.randrange(s.T),
+                jitter=s.J,
+                seed=hash((seed, m.name, s.name)) & 0x7FFFFFFF,
+            )
+    return TrafficConfig(patterns)

@@ -1,0 +1,139 @@
+"""Analysis-vs-simulation validation helpers (experiment E4/E6 plumbing).
+
+Each helper runs the relevant simulator, collects the worst observed
+response per stream/task, pairs it with the analytic bound, and returns
+:class:`ValidationReport` rows.  The invariant under test is always
+
+    observed ≤ bound        (soundness of the analysis)
+
+and the reports also carry the tightness ratio ``observed / bound`` so
+benches can show how conservative each bound is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.task import TaskSet
+from ..profibus.network import Network
+from ..profibus.ttr import analyse
+from .token import TokenBusConfig, TokenBusResult, simulate_token_bus
+from .traffic import TrafficConfig, synchronous_offsets
+from .uniproc import simulate_uniproc
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One stream/task: analytic bound vs worst observed response."""
+
+    name: str
+    bound: Optional[int]
+    observed: int
+    completed: int
+
+    @property
+    def sound(self) -> bool:
+        """True when the observation does not contradict the bound."""
+        return self.bound is None or self.observed <= self.bound
+
+    @property
+    def tightness(self) -> Optional[float]:
+        if self.bound is None or self.bound == 0 or self.completed == 0:
+            return None
+        return self.observed / self.bound
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    rows: List[ValidationRow]
+    detail: Dict[str, object]
+
+    @property
+    def all_sound(self) -> bool:
+        return all(r.sound for r in self.rows)
+
+    @property
+    def worst_tightness(self) -> Optional[float]:
+        vals = [r.tightness for r in self.rows if r.tightness is not None]
+        return max(vals) if vals else None
+
+    def row(self, name: str) -> ValidationRow:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+
+_POLICY_TO_SIM = {"fcfs": "stock-fcfs", "dm": "ap-dm", "edf": "ap-edf"}
+
+
+def validate_network(
+    network: Network,
+    policy: str,
+    horizon: int,
+    traffic: Optional[TrafficConfig] = None,
+    config: Optional[TokenBusConfig] = None,
+    refined: bool = False,
+) -> ValidationReport:
+    """Analytic bounds (eqs. 11/16/17) vs token-bus simulation."""
+    analysis = analyse(network, policy, refined=refined)
+    if config is None:
+        config = TokenBusConfig(policy=_POLICY_TO_SIM[policy])
+    if traffic is None:
+        traffic = synchronous_offsets(network)
+    result = simulate_token_bus(network, horizon, traffic, config)
+    rows = []
+    for sr in analysis.per_stream:
+        key = f"{sr.master}/{sr.stream.name}"
+        stats = result.streams.get(key)
+        rows.append(
+            ValidationRow(
+                name=key,
+                bound=sr.R,
+                observed=stats.max_response if stats else 0,
+                completed=stats.completed if stats else 0,
+            )
+        )
+    return ValidationReport(
+        rows=rows,
+        detail={
+            "policy": policy,
+            "horizon": horizon,
+            "tcycle_bound": analysis.tcycle,
+            "max_trr_observed": result.max_trr,
+            "events": result.events,
+        },
+    )
+
+
+def validate_uniproc(
+    taskset: TaskSet,
+    bounds: Dict[str, Optional[int]],
+    horizon: int,
+    policy: str = "fp",
+    preemptive: bool = True,
+    release_jitter_once: bool = False,
+) -> ValidationReport:
+    """Analytic per-task bounds vs the uniprocessor simulator."""
+    stats = simulate_uniproc(
+        taskset,
+        horizon,
+        policy=policy,
+        preemptive=preemptive,
+        release_jitter_once=release_jitter_once,
+    )
+    rows = []
+    for task in taskset:
+        rows.append(
+            ValidationRow(
+                name=task.name,
+                bound=bounds.get(task.name),
+                observed=stats.max_response.get(task.name, 0),
+                completed=stats.completed.get(task.name, 0),
+            )
+        )
+    return ValidationReport(
+        rows=rows,
+        detail={"policy": policy, "preemptive": preemptive, "horizon": horizon},
+    )

@@ -1,0 +1,47 @@
+"""Shared fixtures: canonical task sets and networks used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Task, TaskSet, assign_deadline_monotonic, make_taskset
+from repro.scenarios import (
+    factory_cell_network,
+    paper_illustration_network,
+    single_master_network,
+)
+
+
+@pytest.fixture
+def basic_dm_taskset() -> TaskSet:
+    """The worked example used throughout the core tests.
+
+    DM order: t0 (1,4,4) > t1 (2,6,6) > t2 (3,10,10).
+    Hand-computed references:
+      preemptive RTA:      r = [1, 3, 10]
+      non-preemptive (strict start): w = [3, 5, 3] → r = [4, 7, 6]
+      EDF preemptive RTA:  r = [2, 4, 8]
+      EDF non-preemptive:  r = [3, 5, 6]
+    """
+    return assign_deadline_monotonic(make_taskset([(1, 4), (2, 6), (3, 10)]))
+
+
+@pytest.fixture
+def harmonic_taskset() -> TaskSet:
+    """Harmonic set at exactly U = 1 (schedulable under EDF, D=T)."""
+    return assign_deadline_monotonic(make_taskset([(1, 2), (1, 4), (2, 8)]))
+
+
+@pytest.fixture
+def factory_cell():
+    return factory_cell_network()
+
+
+@pytest.fixture
+def single_master():
+    return single_master_network()
+
+
+@pytest.fixture
+def illustration():
+    return paper_illustration_network().with_ttr(3000)

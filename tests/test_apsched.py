@@ -1,0 +1,115 @@
+"""Tests for the AP-level architecture: jitter inheritance & end-to-end."""
+
+import pytest
+
+from repro.apsched import (
+    TaskModel,
+    derive_stream_jitter,
+    end_to_end_analysis,
+    sender_response_times,
+)
+from repro.core import Task
+from repro.profibus import Master, MessageStream, Network, PhyParameters
+
+
+def _master():
+    return Master(1, (
+        MessageStream("fast", T=100_000, D=30_000, C_bits=500),
+        MessageStream("slow", T=200_000, D=150_000, C_bits=500),
+    ))
+
+
+def _model(scheduler="fp"):
+    # sender tasks on the application processor (times in µs-ish units)
+    return TaskModel(
+        sender_tasks={
+            "fast": Task(C=200, T=100_000, D=2_000, name="snd-fast"),
+            "slow": Task(C=900, T=200_000, D=5_000, name="snd-slow"),
+        },
+        scheduler=scheduler,
+    )
+
+
+class TestTaskModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskModel(sender_tasks={}, scheduler="rr")
+        with pytest.raises(ValueError):
+            TaskModel(sender_tasks={}, model="fused")
+
+
+class TestSenderResponseTimes:
+    def test_fp_responses(self):
+        rts = sender_response_times(_model("fp"))
+        # DM order: snd-fast first; r(fast)=200, r(slow)=900+200=1100
+        assert rts["fast"] == 200
+        assert rts["slow"] == 1100
+
+    def test_edf_responses(self):
+        rts = sender_response_times(_model("edf"))
+        assert rts["fast"] <= 1100
+        assert rts["slow"] <= 1100
+        assert all(v is not None for v in rts.values())
+
+
+class TestDeriveStreamJitter:
+    def test_streams_inherit_sender_response(self):
+        m2 = derive_stream_jitter(_master(), _model())
+        assert m2.stream("fast").J == 200
+        assert m2.stream("slow").J == 1100
+
+    def test_unmapped_stream_keeps_jitter(self):
+        m = Master(1, (
+            MessageStream("fast", T=100_000, D=30_000, C_bits=500, J=42),
+        ))
+        model = TaskModel(sender_tasks={})
+        assert derive_stream_jitter(m, model).stream("fast").J == 42
+
+    def test_unschedulable_sender_rejected(self):
+        model = TaskModel(sender_tasks={
+            "fast": Task(C=900, T=1_000, D=1_000, name="hog"),
+            "slow": Task(C=900, T=1_000, D=1_000, name="hog2"),
+        })
+        with pytest.raises(ValueError):
+            derive_stream_jitter(_master(), model)
+
+
+class TestEndToEnd:
+    def _network(self):
+        return Network(masters=(_master(),), phy=PhyParameters(), ttr=2_000)
+
+    def test_composition(self):
+        net = self._network()
+        rep = end_to_end_analysis(
+            net, {"M1": _model()}, policy="dm",
+            delivery_delays={"M1/fast": 300},
+        )
+        row = rep.row("M1", "fast")
+        assert row.g == 200
+        assert row.d == 300
+        assert row.qc is not None
+        assert row.total == row.g + row.qc + row.d
+
+    def test_all_bounded_on_feasible(self):
+        rep = end_to_end_analysis(self._network(), {"M1": _model()}, policy="dm")
+        assert rep.all_bounded
+
+    def test_jitter_feeds_message_analysis(self):
+        from repro.profibus import dm_analysis
+
+        net = self._network()
+        rep = end_to_end_analysis(net, {"M1": _model()}, policy="dm")
+        plain = dm_analysis(net)
+        # Q+C with inherited jitter >= without (slow inherits J=1100 and
+        # 'fast' interference on 'slow' can only grow)
+        assert rep.row("M1", "slow").qc >= plain.response("M1", "slow").R
+
+    def test_master_without_model_uses_configured_jitter(self):
+        net = self._network()
+        rep = end_to_end_analysis(net, {}, policy="edf")
+        assert rep.row("M1", "fast").g == 0
+
+    def test_missing_row_raises(self):
+        rep = end_to_end_analysis(self._network(), {}, policy="dm")
+        with pytest.raises(KeyError):
+            rep.row("M1", "zz")

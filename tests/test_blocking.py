@@ -1,0 +1,57 @@
+"""Unit tests for blocking factors (eq. (2) and EDF variants)."""
+
+from repro.core import (
+    Task,
+    assign_deadline_monotonic,
+    blocking_from,
+    edf_blocking_at,
+    make_taskset,
+    nonpreemptive_blocking,
+)
+
+
+class TestBlockingFrom:
+    def test_max_of_lower(self):
+        tasks = [Task(C=2, T=10), Task(C=5, T=20), Task(C=3, T=30)]
+        assert blocking_from(tasks) == 5
+
+    def test_empty_is_zero(self):
+        assert blocking_from([]) == 0
+
+    def test_subtract_one(self):
+        tasks = [Task(C=5, T=20)]
+        assert blocking_from(tasks, subtract_one=True) == 4
+
+    def test_subtract_one_never_negative(self):
+        tasks = [Task(C=1, T=20)]
+        assert blocking_from(tasks, subtract_one=True) == 0
+
+
+class TestNonpreemptiveBlocking:
+    def test_eq2_max_lp_c(self):
+        ts = assign_deadline_monotonic(
+            make_taskset([(1, 4), (2, 6), (7, 30), (3, 10)])
+        )
+        # highest-priority task blocked by longest of the rest
+        assert nonpreemptive_blocking(ts, ts[0]) == 7
+        # lowest-priority task has no lower tasks
+        assert nonpreemptive_blocking(ts, ts[2]) == 0
+
+    def test_middle_task(self):
+        ts = assign_deadline_monotonic(make_taskset([(1, 4), (2, 6), (3, 10)]))
+        assert nonpreemptive_blocking(ts, ts[1]) == 3
+
+
+class TestEdfBlockingAt:
+    def test_only_later_deadlines_block(self):
+        ts = make_taskset([(2, 10, 4), (5, 20, 15), (3, 30, 25)])
+        # at t=4: tasks with D > 4 are (5,..,15) and (3,..,25): max C-1 = 4
+        assert edf_blocking_at(ts, 4) == 4
+        # at t=20: only D=25 exceeds: C-1 = 2
+        assert edf_blocking_at(ts, 20) == 2
+        # beyond all deadlines: no blocking
+        assert edf_blocking_at(ts, 100) == 0
+
+    def test_full_c_variant(self):
+        ts = make_taskset([(2, 10, 4), (5, 20, 15)])
+        assert edf_blocking_at(ts, 4, subtract_one=False) == 5

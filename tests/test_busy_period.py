@@ -1,0 +1,57 @@
+"""Unit tests for busy-period and demand-horizon computations."""
+
+import pytest
+
+from repro.core import (
+    Task,
+    TaskSet,
+    demand_horizon,
+    make_taskset,
+    synchronous_busy_period,
+)
+
+
+class TestSynchronousBusyPeriod:
+    def test_single_task(self):
+        assert synchronous_busy_period(make_taskset([(2, 10)])) == 2
+
+    def test_classic_example(self):
+        # C=(1,2,3), T=(4,6,10): L solves L = ceil(L/4)+2ceil(L/6)+3ceil(L/10)
+        # L=6: 2+2·1+3·1=7; L=7: 2+4+3=9; L=9: 3+4+3=10; L=10: 3+4+3=10 ✓
+        assert synchronous_busy_period(make_taskset([(1, 4), (2, 6), (3, 10)])) == 10
+
+    def test_full_utilization_converges(self):
+        # U = 1 harmonic: busy period = hyperperiod
+        ts = make_taskset([(1, 2), (1, 4), (2, 8)])
+        assert synchronous_busy_period(ts) == 8
+
+    def test_blocking_seed_extends(self):
+        ts = make_taskset([(1, 4), (2, 6)])
+        plain = synchronous_busy_period(ts)
+        seeded = synchronous_busy_period(ts, blocking=3)
+        assert seeded > plain
+
+    def test_jitter_extends(self):
+        ts = TaskSet([Task(C=1, T=4, J=3, name="a"), Task(C=2, T=6, name="b")])
+        assert synchronous_busy_period(ts, include_jitter=True) >= (
+            synchronous_busy_period(ts, include_jitter=False)
+        )
+
+    def test_overutilized_rejected(self):
+        with pytest.raises(ValueError):
+            synchronous_busy_period(make_taskset([(3, 4), (3, 4)]))
+
+
+class TestDemandHorizon:
+    def test_at_least_max_deadline(self):
+        ts = make_taskset([(1, 100, 90), (1, 50, 40)])
+        assert demand_horizon(ts) >= 90
+
+    def test_bounded_by_busy_period_when_small(self):
+        ts = make_taskset([(1, 4), (2, 6), (3, 10)])
+        bp = synchronous_busy_period(ts)
+        assert demand_horizon(ts) <= max(bp, max(t.D for t in ts))
+
+    def test_full_utilization_uses_busy_period(self):
+        ts = make_taskset([(1, 2), (1, 4), (2, 8)])
+        assert demand_horizon(ts) == 8

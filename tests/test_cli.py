@@ -1,0 +1,128 @@
+"""Tests for the profibus-rt command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyse", "--scenario", "nope"])
+
+    def test_policy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyse", "--policy", "lifo"])
+
+
+class TestAnalyse:
+    def test_dm_schedulable_exit_zero(self, capsys):
+        rc = main(["analyse", "--scenario", "factory-cell", "--policy", "dm"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "schedulable: True" in out
+        assert "axis-setpoint" in out
+
+    def test_fcfs_miss_exit_one(self, capsys):
+        rc = main(["analyse", "--scenario", "factory-cell", "--policy", "fcfs"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "MISS" in out
+
+    def test_ttr_override(self, capsys):
+        rc = main(["analyse", "--scenario", "factory-cell", "--policy", "dm",
+                   "--ttr", "8000"])
+        out = capsys.readouterr().out
+        assert "TTR=8000" in out
+
+    def test_refined_flag(self, capsys):
+        rc = main(["analyse", "--scenario", "factory-cell", "--policy", "dm",
+                   "--refined"])
+        assert rc in (0, 1)
+
+
+class TestTtr:
+    def test_reports_all_policies(self, capsys):
+        rc = main(["ttr", "--scenario", "factory-cell"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for pol in ("fcfs", "dm", "edf"):
+            assert pol in out
+
+    def test_single_master_fcfs_infeasible(self, capsys):
+        rc = main(["ttr", "--scenario", "single-master"])
+        out = capsys.readouterr().out
+        assert "infeasible" in out
+
+
+class TestSimulate:
+    def test_sound_run_exit_zero(self, capsys):
+        rc = main(["simulate", "--scenario", "single-master",
+                   "--policy", "edf", "--horizon-ms", "500"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all bounds sound: True" in out
+
+    def test_observed_column_present(self, capsys):
+        main(["simulate", "--scenario", "single-master",
+              "--policy", "fcfs", "--horizon-ms", "300"])
+        out = capsys.readouterr().out
+        assert "observed" in out
+        assert "max TRR observed" in out
+
+
+class TestReport:
+    def test_breakdown_fields(self, capsys):
+        rc = main(["report", "--scenario", "paper-illustration"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for needle in ("ring latency", "Tdel (eq. 13)", "Tcycle (eq. 14)",
+                       "per-master longest cycles"):
+            assert needle in out
+
+
+class TestBandwidth:
+    def test_reports_fraction_per_policy(self, capsys):
+        rc = main(["bandwidth", "--scenario", "factory-cell"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "% of bus time" in out
+        for pol in ("fcfs", "dm", "edf"):
+            assert pol in out
+
+
+class TestExportAndFile:
+    def test_export_then_analyse_file(self, tmp_path, capsys):
+        path = tmp_path / "net.json"
+        rc = main(["export", "--scenario", "single-master", str(path)])
+        assert rc == 0
+        assert path.exists()
+        capsys.readouterr()
+        rc = main(["analyse", "--file", str(path), "--policy", "dm"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "schedulable: True" in out
+
+    def test_file_and_ttr_override(self, tmp_path, capsys):
+        path = tmp_path / "net.json"
+        main(["export", "--scenario", "single-master", str(path)])
+        capsys.readouterr()
+        rc = main(["analyse", "--file", str(path), "--policy", "dm",
+                   "--ttr", "2000"])
+        out = capsys.readouterr().out
+        assert "TTR=2000" in out
+
+
+class TestTrace:
+    def test_timeline_rendered(self, capsys):
+        rc = main(["trace", "--scenario", "single-master", "--policy", "dm",
+                   "--horizon-ms", "60", "--window-ms", "20", "--width", "60"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "token arrival" in out
+        assert "bus utilisation" in out
+        assert "|" in out

@@ -1,0 +1,72 @@
+"""Unit tests for message-cycle length computation (Ch)."""
+
+import pytest
+
+from repro.profibus import (
+    MessageCycleSpec,
+    PhyParameters,
+    attempt_time,
+    cycle_time,
+    failed_attempt_time,
+    token_pass_time,
+)
+
+
+@pytest.fixture
+def phy():
+    return PhyParameters(baud_rate=500_000, tsdr_max=60, tid1=37, tid2=60,
+                         tsl=100, max_retry=1)
+
+
+class TestAttemptTime:
+    def test_composition(self, phy):
+        spec = MessageCycleSpec(req_payload=0, resp_payload=0)
+        # SD1 request (66) + tsdr (60) + SD1 response (66) + tid1 (37)
+        assert attempt_time(spec, phy) == 66 + 60 + 66 + 37
+
+    def test_short_ack(self, phy):
+        spec = MessageCycleSpec(req_payload=8, short_ack=True)
+        # SD3 request (154) + tsdr + SC (11) + tid1
+        assert attempt_time(spec, phy) == 154 + 60 + 11 + 37
+
+    def test_payload_grows_time(self, phy):
+        small = MessageCycleSpec(req_payload=1, resp_payload=1)
+        large = MessageCycleSpec(req_payload=100, resp_payload=100)
+        assert attempt_time(large, phy) > attempt_time(small, phy)
+
+
+class TestFailedAttempt:
+    def test_uses_slot_time(self, phy):
+        spec = MessageCycleSpec(req_payload=0, resp_payload=0)
+        assert failed_attempt_time(spec, phy) == 66 + 100 + 37
+
+
+class TestCycleTime:
+    def test_no_retries(self, phy):
+        spec = MessageCycleSpec(req_payload=0, resp_payload=0, max_retry=0)
+        assert cycle_time(spec, phy) == attempt_time(spec, phy)
+
+    def test_with_network_retry_limit(self, phy):
+        spec = MessageCycleSpec(req_payload=0, resp_payload=0)
+        expected = failed_attempt_time(spec, phy) + attempt_time(spec, phy)
+        assert cycle_time(spec, phy) == expected
+
+    def test_per_cycle_retry_override(self, phy):
+        spec = MessageCycleSpec(req_payload=0, resp_payload=0, max_retry=3)
+        expected = 3 * failed_attempt_time(spec, phy) + attempt_time(spec, phy)
+        assert cycle_time(spec, phy) == expected
+
+    def test_short_ack_with_payload_rejected(self):
+        spec = MessageCycleSpec(resp_payload=4, short_ack=True)
+        with pytest.raises(ValueError):
+            spec.response_frame()
+
+    def test_negative_retry_rejected(self, phy):
+        spec = MessageCycleSpec(max_retry=-1)
+        with pytest.raises(ValueError):
+            cycle_time(spec, phy)
+
+
+class TestTokenPass:
+    def test_token_pass_time(self, phy):
+        assert token_pass_time(phy) == 33 + 60

@@ -1,0 +1,128 @@
+"""Unit tests for the EDF processor-demand analysis (eq. (3)) and QPA."""
+
+import pytest
+
+from repro.core import (
+    Task,
+    TaskSet,
+    dbf,
+    dbf_with_jitter,
+    deadline_points,
+    make_taskset,
+    processor_demand_test,
+    qpa_test,
+)
+
+
+class TestDbf:
+    def test_before_first_deadline_zero(self):
+        ts = make_taskset([(2, 10, 5)])
+        assert dbf(ts, 4) == 0
+
+    def test_at_deadline_counts_one_job(self):
+        ts = make_taskset([(2, 10, 5)])
+        assert dbf(ts, 5) == 2
+
+    def test_step_per_period(self):
+        ts = make_taskset([(2, 10, 5)])
+        assert dbf(ts, 14) == 2
+        assert dbf(ts, 15) == 4
+        assert dbf(ts, 25) == 6
+
+    def test_sums_over_tasks(self):
+        ts = make_taskset([(1, 4), (2, 6)])
+        # t=4: one job of t0 -> 1 ; t=6: t0(1) + t1(2) = 3
+        assert dbf(ts, 4) == 1
+        assert dbf(ts, 6) == 3
+
+    def test_monotone(self):
+        ts = make_taskset([(1, 4), (2, 6), (3, 10)])
+        values = [dbf(ts, t) for t in range(0, 40)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_jitter_shifts_demand_earlier(self):
+        plain = make_taskset([(2, 10, 5)])
+        jit = TaskSet([Task(C=2, T=10, D=5, J=3, name="a")])
+        assert dbf_with_jitter(jit, 2) == 2  # deadline lands at D-J = 2
+        assert dbf(plain, 2) == 0
+
+
+class TestDeadlinePoints:
+    def test_contents(self):
+        ts = make_taskset([(1, 4, 3), (1, 6, 6)])
+        pts = list(deadline_points(ts, 14))
+        assert pts == [3, 6, 7, 11, 12]  # 3,7,11 and 6,12
+
+    def test_sorted_unique(self):
+        ts = make_taskset([(1, 4), (1, 2)])
+        pts = list(deadline_points(ts, 12))
+        assert pts == sorted(set(pts))
+
+    def test_respects_horizon(self):
+        ts = make_taskset([(1, 5)])
+        assert list(deadline_points(ts, 11)) == [5, 10]
+
+
+class TestProcessorDemandTest:
+    def test_accepts_feasible(self, basic_dm_taskset):
+        assert processor_demand_test(basic_dm_taskset).schedulable
+
+    def test_rejects_overutilized_immediately(self):
+        res = processor_demand_test(make_taskset([(3, 4), (3, 4)]))
+        assert not res.schedulable
+        assert res.checked_points == 0
+
+    def test_rejects_tight_deadline(self):
+        # U < 1 but constrained deadlines overload an interval
+        ts = make_taskset([(3, 20, 4), (3, 20, 5)])
+        res = processor_demand_test(ts)
+        assert not res.schedulable
+        assert res.failure_time == 5
+        assert res.failure_demand == 6
+
+    def test_full_utilization_harmonic_ok(self):
+        assert processor_demand_test(make_taskset([(1, 2), (1, 4), (2, 8)])).schedulable
+
+    def test_edf_optimality_vs_fixed_priority(self, basic_dm_taskset):
+        # FP-schedulable (preemptive) implies EDF-feasible
+        from repro.core import preemptive_rta
+
+        assert preemptive_rta(basic_dm_taskset).schedulable
+        assert processor_demand_test(basic_dm_taskset).schedulable
+
+
+class TestQPA:
+    def test_agrees_with_exhaustive_on_feasible(self, basic_dm_taskset):
+        assert qpa_test(basic_dm_taskset).schedulable == (
+            processor_demand_test(basic_dm_taskset).schedulable
+        )
+
+    def test_agrees_on_infeasible(self):
+        ts = make_taskset([(3, 20, 4), (3, 20, 5)])
+        assert qpa_test(ts).schedulable == processor_demand_test(ts).schedulable
+        assert not qpa_test(ts).schedulable
+
+    def test_checks_fewer_points(self):
+        ts = make_taskset([(1, 11, 9), (2, 17, 15), (3, 29, 25), (4, 47, 40)])
+        exhaustive = processor_demand_test(ts)
+        quick = qpa_test(ts)
+        assert quick.schedulable == exhaustive.schedulable
+        assert quick.checked_points <= exhaustive.checked_points
+
+    def test_overutilized(self):
+        assert not qpa_test(make_taskset([(3, 4), (3, 4)])).schedulable
+
+    def test_randomized_equivalence(self):
+        import random
+
+        from repro.gen import random_taskset
+
+        for seed in range(40):
+            u = random.Random(seed).uniform(0.5, 1.1)
+            if u > 1.0:
+                u = 0.99
+            ts = random_taskset(4, u, seed=seed, t_min=5, t_max=50,
+                                deadline_beta=0.5)
+            assert qpa_test(ts).schedulable == (
+                processor_demand_test(ts).schedulable
+            ), f"seed={seed}"

@@ -1,0 +1,105 @@
+"""Unit tests for the EDF message analysis (eqs. (17)-(18))."""
+
+import pytest
+
+from repro.profibus import (
+    Master,
+    MessageStream,
+    Network,
+    PhyParameters,
+    dm_analysis,
+    edf_analysis,
+    fcfs_analysis,
+    tcycle,
+)
+
+
+def _single_master(deadlines, periods=None, ttr=2_000):
+    phy = PhyParameters()
+    n = len(deadlines)
+    periods = periods or [100_000] * n
+    streams = tuple(
+        MessageStream(f"s{i}", T=periods[i], D=deadlines[i], C_bits=500)
+        for i in range(n)
+    )
+    return Network(masters=(Master(1, streams),), phy=phy, ttr=ttr)
+
+
+class TestEq17Structure:
+    def test_single_stream_one_tcycle(self):
+        net = _single_master([50_000])
+        res = edf_analysis(net)
+        assert res.response("M1", "s0").R == tcycle(net)
+
+    def test_r_at_least_tcycle(self):
+        net = _single_master([10_000, 50_000, 90_000])
+        for sr in edf_analysis(net).per_stream:
+            assert sr.R >= tcycle(net)
+
+    def test_blocking_full_tcycle(self):
+        # tightest-deadline stream: blocked by a later-deadline request
+        # (full Tcycle, not Tcycle-1) + own cycle
+        net = _single_master([10_000, 50_000])
+        tc = tcycle(net)
+        res = edf_analysis(net)
+        assert res.response("M1", "s0").R == 2 * tc
+
+    def test_q_is_r_minus_tcycle(self):
+        net = _single_master([10_000, 50_000])
+        tc = tcycle(net)
+        for sr in edf_analysis(net).per_stream:
+            assert sr.Q == sr.R - tc
+
+
+class TestEDFvsOthers:
+    def test_edf_never_worse_than_fcfs_worst_stream(self):
+        net = _single_master([10_000, 50_000, 90_000])
+        edf = edf_analysis(net)
+        fcfs = fcfs_analysis(net)
+        assert max(sr.R for sr in edf.per_stream) <= max(
+            sr.R for sr in fcfs.per_stream
+        )
+
+    def test_edf_matches_dm_on_two_long_period_streams(self):
+        # with two streams and huge periods, DM and EDF bounds coincide
+        net = _single_master([10_000, 50_000])
+        dm_rs = {sr.stream.name: sr.R for sr in dm_analysis(net).per_stream}
+        edf_rs = {sr.stream.name: sr.R for sr in edf_analysis(net).per_stream}
+        assert dm_rs == edf_rs
+
+    def test_paper_headline_single_master(self, single_master):
+        from repro.profibus import analyse
+
+        assert not analyse(single_master, "fcfs").schedulable
+        assert analyse(single_master, "edf").schedulable
+
+    def test_factory_cell_headline(self, factory_cell):
+        from repro.profibus import analyse
+
+        assert not analyse(factory_cell, "fcfs").schedulable
+        assert analyse(factory_cell, "dm").schedulable
+        assert analyse(factory_cell, "edf").schedulable
+
+
+class TestJitter:
+    def test_jitter_increases_bounds(self):
+        base = _single_master([10_000, 50_000])
+        m = base.masters[0]
+        jittered = Network(
+            masters=(m.with_streams([
+                m.streams[0].with_jitter(8_000), m.streams[1],
+            ]),),
+            phy=base.phy,
+            ttr=base.ttr,
+        )
+        r_base = edf_analysis(base).response("M1", "s1").R
+        r_jit = edf_analysis(jittered).response("M1", "s1").R
+        assert r_jit >= r_base
+
+
+class TestCriticalOffset:
+    def test_critical_a_reported(self):
+        net = _single_master([10_000, 50_000, 90_000])
+        res = edf_analysis(net)
+        for sr in res.per_stream:
+            assert sr.critical_a is not None and sr.critical_a >= 0

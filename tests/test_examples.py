@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs cleanly and prints its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "token cycle breakdown" in out
+    assert "FCFS" in out and "DM" in out and "EDF" in out
+    assert "schedulable=False" in out  # FCFS misses
+    assert "schedulable=True" in out   # DM/EDF pass
+
+
+def test_factory_cell():
+    out = _run("factory_cell.py")
+    assert "deadline miss" in out
+    assert "FCFS  schedulable: False" in out
+    assert "DM    schedulable: True" in out
+    assert "larger TTR than FCFS" in out
+
+
+def test_fcfs_vs_priority():
+    out = _run("fcfs_vs_priority.py")
+    # the sweep must contain a row where FCFS fails but DM passes
+    rows = [l for l in out.splitlines() if "|" in l]
+    assert any(("no" in r) and ("yes" in r) for r in rows)
+
+
+def test_simulation_validation():
+    out = _run("simulation_validation.py")
+    assert out.count("all bounds sound: True") == 3
+    assert "sound" in out.rsplit("token-rotation stress", 1)[1]
+
+
+def test_end_to_end_delay():
+    out = _run("end_to_end_delay.py")
+    assert "release jitter" in out
+    assert "end-to-end bounds" in out
+    assert "axis-setpoint" in out
+
+
+def test_priority_rules_jitter():
+    out = _run("priority_rules_jitter.py")
+    assert "miss" in out
+    assert "schedulable: False" in out
+    assert out.count("schedulable: True") == 3

@@ -1,0 +1,99 @@
+"""Unit tests for the FCFS message analysis (eqs. (11), (12), (15))."""
+
+import pytest
+
+from repro.profibus import (
+    Master,
+    MessageStream,
+    Network,
+    PhyParameters,
+    fcfs_analysis,
+    fcfs_max_feasible_ttr,
+    tcycle,
+    tdel,
+)
+
+
+def _net(ttr=10_000, d1=50_000, d2=80_000):
+    phy = PhyParameters()
+    m1 = Master(1, (
+        MessageStream("a", T=100_000, D=d1, C_bits=500),
+        MessageStream("b", T=120_000, D=d2, C_bits=700),
+    ))
+    m2 = Master(2, (MessageStream("c", T=90_000, D=60_000, C_bits=600),))
+    return Network(masters=(m1, m2), phy=phy, ttr=ttr)
+
+
+class TestEq11:
+    def test_r_is_nh_times_tcycle(self):
+        net = _net()
+        tc = tcycle(net)
+        res = fcfs_analysis(net)
+        assert res.response("M1", "a").R == 2 * tc
+        assert res.response("M1", "b").R == 2 * tc
+        assert res.response("M2", "c").R == 1 * tc
+
+    def test_q_subtracts_own_cycle(self):
+        net = _net()
+        tc = tcycle(net)
+        res = fcfs_analysis(net)
+        assert res.response("M1", "a").Q == 2 * tc - 500
+        assert res.response("M2", "c").Q == tc - 600
+
+    def test_low_priority_not_analysed(self):
+        phy = PhyParameters()
+        m = Master(1, (
+            MessageStream("h", T=100_000, C_bits=400),
+            MessageStream("l", T=100_000, C_bits=400, high_priority=False),
+        ))
+        net = Network(masters=(m,), phy=phy, ttr=5_000)
+        res = fcfs_analysis(net)
+        assert [sr.stream.name for sr in res.per_stream] == ["h"]
+
+
+class TestEq12:
+    def test_schedulable_iff_deadlines_cover_r(self):
+        ok = _net(ttr=10_000, d1=50_000)
+        assert fcfs_analysis(ok).schedulable
+        tight = _net(ttr=10_000, d1=10_000)
+        assert not fcfs_analysis(tight).schedulable
+
+    def test_boundary_equality_is_schedulable(self):
+        net = _net(ttr=10_000)
+        tc = tcycle(net)
+        boundary = _net(ttr=10_000, d1=2 * tc)
+        assert fcfs_analysis(boundary).schedulable
+
+
+class TestEq15:
+    def test_closed_form(self):
+        net = _net()
+        # TTR <= min(D/nh) - Tdel = min(50000/2, 80000/2, 60000/1) - Tdel
+        expected = 25_000 - tdel(net)
+        assert fcfs_max_feasible_ttr(net) == expected
+
+    def test_setting_at_bound_is_schedulable(self):
+        net = _net()
+        best = fcfs_max_feasible_ttr(net)
+        assert fcfs_analysis(net.with_ttr(best)).schedulable
+        assert not fcfs_analysis(net.with_ttr(best + 1)).schedulable
+
+    def test_infeasible_returns_none(self):
+        net = _net(d1=1_000)  # deadline below Tdel: hopeless
+        assert fcfs_max_feasible_ttr(net) is None
+
+    def test_refined_allows_larger_ttr(self):
+        phy = PhyParameters()
+        # two masters with long low cycles: refined Tdel strictly smaller
+        m1 = Master(1, (
+            MessageStream("h1", T=100_000, D=40_000, C_bits=300),
+            MessageStream("l1", T=100_000, C_bits=3_000, high_priority=False),
+        ))
+        m2 = Master(2, (
+            MessageStream("h2", T=100_000, D=40_000, C_bits=300),
+            MessageStream("l2", T=100_000, C_bits=3_000, high_priority=False),
+        ))
+        net = Network(masters=(m1, m2), phy=phy)
+        agg = fcfs_max_feasible_ttr(net, refined=False)
+        ref = fcfs_max_feasible_ttr(net, refined=True)
+        assert ref > agg

@@ -1,0 +1,75 @@
+"""Unit tests for PROFIBUS telegram formats."""
+
+import pytest
+
+from repro.profibus import (
+    SD2_MAX_PAYLOAD,
+    SHORT_ACK,
+    TOKEN_FRAME,
+    Frame,
+    FrameType,
+    frame_for_payload,
+)
+
+
+class TestFrameLengths:
+    def test_sd1_six_chars(self):
+        assert Frame(FrameType.SD1).chars == 6
+        assert Frame(FrameType.SD1).bits == 66
+
+    def test_sd2_overhead_plus_payload(self):
+        assert Frame(FrameType.SD2, 10).chars == 19
+        assert Frame(FrameType.SD2, 1).chars == 10
+
+    def test_sd3_fixed_fourteen(self):
+        assert Frame(FrameType.SD3, 8).chars == 14
+
+    def test_token_three_chars(self):
+        assert TOKEN_FRAME.chars == 3
+        assert TOKEN_FRAME.bits == 33
+
+    def test_short_ack_single_char(self):
+        assert SHORT_ACK.chars == 1
+        assert SHORT_ACK.bits == 11
+
+
+class TestFrameValidation:
+    def test_sd2_payload_cap(self):
+        Frame(FrameType.SD2, SD2_MAX_PAYLOAD)  # ok
+        with pytest.raises(ValueError):
+            Frame(FrameType.SD2, SD2_MAX_PAYLOAD + 1)
+
+    def test_sd3_requires_exactly_eight(self):
+        with pytest.raises(ValueError):
+            Frame(FrameType.SD3, 7)
+
+    def test_no_payload_frames_reject_payload(self):
+        with pytest.raises(ValueError):
+            Frame(FrameType.SD1, 1)
+        with pytest.raises(ValueError):
+            Frame(FrameType.SD4, 1)
+
+    def test_negative_payload(self):
+        with pytest.raises(ValueError):
+            Frame(FrameType.SD2, -1)
+
+
+class TestFrameForPayload:
+    def test_zero_is_sd1(self):
+        assert frame_for_payload(0).frame_type is FrameType.SD1
+
+    def test_eight_is_sd3(self):
+        f = frame_for_payload(8)
+        assert f.frame_type is FrameType.SD3
+        # SD3 (14 chars) must beat SD2 with 8 bytes (17 chars)
+        assert f.chars < Frame(FrameType.SD2, 8).chars
+
+    def test_other_sizes_are_sd2(self):
+        assert frame_for_payload(1).frame_type is FrameType.SD2
+        assert frame_for_payload(100).frame_type is FrameType.SD2
+
+    def test_monotone_in_payload_except_sd3_dip(self):
+        lengths = [frame_for_payload(p).chars for p in range(0, 30)]
+        # remove the SD3 special case and check monotonicity
+        del lengths[8]
+        assert all(a <= b for a, b in zip(lengths, lengths[1:]))

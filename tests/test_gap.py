@@ -1,0 +1,87 @@
+"""Tests for GAP ring-maintenance modelling (extension)."""
+
+import pytest
+
+from repro.profibus import (
+    Master,
+    MessageStream,
+    Network,
+    PhyParameters,
+    gap_aware_cm,
+    gap_aware_tcycle,
+    gap_aware_tdel,
+    gap_cycle_bits,
+    tcycle,
+    tdel,
+)
+from repro.profibus.timing import longest_cycle
+from repro.sim import TokenBusConfig, simulate_token_bus
+
+
+def _tiny_cycle_net(ttr=2_000):
+    """Masters whose message cycles are *shorter* than a gap poll, so the
+    gap-aware bound differs from the plain one."""
+    phy = PhyParameters()
+    streams = lambda k: (MessageStream(f"m{k}s", T=50_000, C_bits=150),)
+    return Network(
+        masters=(Master(1, streams(1)), Master(2, streams(2))),
+        phy=phy,
+        ttr=ttr,
+    )
+
+
+class TestGapCycle:
+    def test_length_composition(self):
+        phy = PhyParameters()
+        # SD1 (66 bits) + slot time + tid1
+        assert gap_cycle_bits(phy) == 66 + phy.tsl + phy.tid1
+
+    def test_gap_aware_cm_max(self):
+        net = _tiny_cycle_net()
+        m = net.masters[0]
+        assert longest_cycle(m, net.phy) == 150
+        assert gap_aware_cm(m, net.phy) == gap_cycle_bits(net.phy)
+
+    def test_gap_aware_tdel_dominates_plain(self):
+        net = _tiny_cycle_net()
+        assert gap_aware_tdel(net) >= tdel(net)
+        assert gap_aware_tcycle(net) >= tcycle(net)
+
+    def test_no_change_when_cycles_longer(self, factory_cell):
+        # every factory-cell master has a cycle longer than a gap poll
+        assert gap_aware_tdel(factory_cell) == tdel(factory_cell)
+
+
+class TestGapSimulation:
+    def test_polls_issued_every_g_visits(self):
+        net = _tiny_cycle_net()
+        cfg = TokenBusConfig(gap_update_factor=10)
+        res = simulate_token_bus(net, 1_000_000, config=cfg)
+        for ms in res.masters.values():
+            assert ms.gap_polls > 0
+            # at most one poll per G visits
+            assert ms.gap_polls <= ms.token_visits / 10 + 1
+
+    def test_disabled_by_default(self, factory_cell):
+        res = simulate_token_bus(factory_cell, 300_000)
+        assert all(ms.gap_polls == 0 for ms in res.masters.values())
+
+    def test_gap_aware_bound_holds_under_stress(self):
+        net = _tiny_cycle_net()
+        lap = {m.name: longest_cycle(m, net.phy) for m in net.masters}
+        cfg = TokenBusConfig(low_always_pending=lap, gap_update_factor=2)
+        res = simulate_token_bus(net, 2_000_000, config=cfg)
+        assert res.max_trr <= gap_aware_tcycle(net)
+
+    def test_polls_deferred_when_token_late(self):
+        # TTR at the ring latency: the token is never early enough for
+        # gap polls -> none are ever issued
+        net = _tiny_cycle_net(ttr=None)
+        net = net.with_ttr(net.ring_latency())
+        lap = {m.name: 150 for m in net.masters}
+        cfg = TokenBusConfig(low_always_pending=lap, gap_update_factor=2)
+        res = simulate_token_bus(net, 500_000, config=cfg)
+        # with saturating lows and a minimal TTR, budget is always gone
+        total_polls = sum(ms.gap_polls for ms in res.masters.values())
+        total_lows = sum(ms.low_sent for ms in res.masters.values())
+        assert total_polls <= total_lows + len(net.masters)

@@ -1,0 +1,115 @@
+"""Tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro.gen import (
+    log_uniform_period,
+    network_with_ttr_headroom,
+    random_network,
+    random_taskset,
+    scale_to_utilization,
+    uunifast,
+    uunifast_discard,
+)
+
+
+class TestUUniFast:
+    def test_sums_to_target(self):
+        rng = random.Random(1)
+        for n in (1, 2, 5, 20):
+            utils = uunifast(n, 0.75, rng)
+            assert len(utils) == n
+            assert sum(utils) == pytest.approx(0.75)
+
+    def test_nonnegative(self):
+        rng = random.Random(2)
+        assert all(u >= 0 for u in uunifast(10, 0.9, rng))
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            uunifast(0, 0.5, rng)
+        with pytest.raises(ValueError):
+            uunifast(3, -0.1, rng)
+
+    def test_discard_respects_limit(self):
+        rng = random.Random(3)
+        utils = uunifast_discard(4, 2.0, rng, limit=0.9)
+        assert sum(utils) == pytest.approx(2.0)
+        assert all(u <= 0.9 for u in utils)
+
+    def test_discard_impossible(self):
+        rng = random.Random(4)
+        with pytest.raises(ValueError):
+            uunifast_discard(2, 3.0, rng, limit=1.0)
+
+
+class TestPeriods:
+    def test_log_uniform_in_range(self):
+        rng = random.Random(5)
+        for _ in range(200):
+            p = log_uniform_period(rng, 10, 1000)
+            assert 10 <= p <= 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_uniform_period(random.Random(0), 0, 10)
+
+
+class TestRandomTaskset:
+    def test_deterministic(self):
+        a = random_taskset(5, 0.7, seed=9)
+        b = random_taskset(5, 0.7, seed=9)
+        assert a == b
+
+    def test_utilization_close(self):
+        ts = random_taskset(8, 0.7, seed=10, t_min=100, t_max=10_000)
+        assert ts.utilization <= 0.75
+
+    def test_constrained_deadlines(self):
+        ts = random_taskset(6, 0.5, seed=11, deadline_beta=0.3)
+        for t in ts:
+            assert t.C <= t.D <= t.T
+
+    def test_jitter_fraction(self):
+        ts = random_taskset(4, 0.5, seed=12, jitter_frac=0.1)
+        assert any(t.J > 0 for t in ts)
+        for t in ts:
+            assert t.J <= 0.1 * t.T
+
+    def test_scale_to_utilization(self):
+        ts = random_taskset(5, 0.3, seed=13)
+        scaled = scale_to_utilization(ts, 0.8)
+        assert scaled.utilization == pytest.approx(0.8, abs=0.15)
+
+
+class TestRandomNetwork:
+    def test_shape(self):
+        net = random_network(n_masters=3, streams_per_master=4, seed=1)
+        assert net.n_masters == 3
+        for m in net.masters:
+            assert m.nh == 4
+            assert len(m.low_streams) == 1
+
+    def test_deterministic(self):
+        a = random_network(seed=2)
+        b = random_network(seed=2)
+        assert [s.T for m in a.masters for s in m.streams] == [
+            s.T for m in b.masters for s in m.streams
+        ]
+
+    def test_deadlines_within_periods(self):
+        net = random_network(seed=3)
+        for m in net.masters:
+            for s in m.streams:
+                assert 1 <= s.D <= s.T
+
+    def test_ttr_headroom(self):
+        net = network_with_ttr_headroom(random_network(seed=4))
+        assert net.ttr >= net.ring_latency()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_network(n_masters=0)

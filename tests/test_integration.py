@@ -1,0 +1,108 @@
+"""Cross-module integration tests: the full paper pipeline end to end."""
+
+import pytest
+
+from repro.apsched import TaskModel, end_to_end_analysis
+from repro.core import Task
+from repro.gen import network_with_ttr_headroom, random_network
+from repro.profibus import analyse, max_feasible_ttr, tcycle
+from repro.scenarios import factory_cell_network
+from repro.sim import (
+    TokenBusConfig,
+    simulate_token_bus,
+    staggered_offsets,
+    validate_network,
+)
+
+
+class TestFullPipeline:
+    """§3 → §4 → validation, as a user would run it."""
+
+    def test_derive_ttr_then_validate(self, factory_cell):
+        # 1. pick the policy and derive the largest feasible TTR
+        best = max_feasible_ttr(factory_cell, "dm")
+        net = factory_cell.with_ttr(best)
+        # 2. analysis says schedulable at that TTR
+        analysis = analyse(net, "dm")
+        assert analysis.schedulable
+        # 3. simulation stays within bounds and misses nothing
+        rep = validate_network(net, "dm", horizon=2_000_000)
+        assert rep.all_sound
+        sim = simulate_token_bus(
+            net, 2_000_000, config=TokenBusConfig(policy="ap-dm")
+        )
+        assert not sim.any_miss
+
+    def test_fcfs_miss_predicted_and_observed(self, factory_cell):
+        # FCFS analysis predicts a miss for axis-setpoint; under
+        # adversarial offsets the simulator can realise a miss too
+        analysis = analyse(factory_cell, "fcfs")
+        assert not analysis.response("cell", "axis-setpoint").schedulable
+        # find an offset assignment that makes the simulator miss
+        missed = False
+        for seed in range(8):
+            sim = simulate_token_bus(
+                factory_cell,
+                2_000_000,
+                traffic=staggered_offsets(factory_cell, seed=seed),
+                config=TokenBusConfig(policy="stock-fcfs"),
+            )
+            if sim.streams["cell/axis-setpoint"].missed:
+                missed = True
+                break
+        # (not guaranteed — the analytic worst case needs exact adversarial
+        # phasing — but the DM fix below must hold regardless)
+        dm_sim = simulate_token_bus(
+            factory_cell, 2_000_000, config=TokenBusConfig(policy="ap-dm")
+        )
+        assert dm_sim.streams["cell/axis-setpoint"].missed == 0
+
+    def test_end_to_end_with_derived_ttr(self, factory_cell):
+        ms = 1500
+        model = TaskModel(sender_tasks={
+            "axis-setpoint": Task(C=300, T=50 * ms, D=5 * ms, name="snd"),
+        })
+        rep = end_to_end_analysis(factory_cell, {"cell": model}, policy="edf")
+        row = rep.row("cell", "axis-setpoint")
+        assert row.total is not None
+        assert row.qc >= tcycle(factory_cell)
+
+
+class TestRandomNetworksEndToEnd:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_analysis_sim_agreement(self, seed):
+        net = network_with_ttr_headroom(
+            random_network(n_masters=3, streams_per_master=3, seed=seed)
+        )
+        for policy in ("fcfs", "dm", "edf"):
+            rep = validate_network(net, policy, horizon=1_500_000)
+            assert rep.all_sound, (seed, policy)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_policy_dominance_on_max_ttr(self, seed):
+        net = random_network(n_masters=2, streams_per_master=3, seed=seed + 50)
+        fcfs = max_feasible_ttr(net, "fcfs")
+        dm = max_feasible_ttr(net, "dm")
+        if fcfs is not None:
+            assert dm is not None and dm >= fcfs
+
+
+class TestConsistencyAcrossLayers:
+    def test_message_analysis_equals_core_on_token_tasks(self, factory_cell):
+        """The §4.3 substitution is literal: running the core NP-RTA on
+        C→Tcycle tasks must equal the profibus DM analysis."""
+        from repro.core import TaskSet, assign_deadline_monotonic
+        from repro.core.rta_fixed import nonpreemptive_response_time
+        from repro.profibus import dm_analysis
+
+        tc = tcycle(factory_cell)
+        res = dm_analysis(factory_cell)
+        for master in factory_cell.masters:
+            if not master.high_streams:
+                continue
+            ts = assign_deadline_monotonic(
+                TaskSet(s.as_token_task(tc) for s in master.high_streams)
+            )
+            for idx, s in enumerate(master.high_streams):
+                rt = nonpreemptive_response_time(ts, ts[idx])
+                assert res.response(master.name, s.name).R == rt.value

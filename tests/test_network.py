@@ -1,0 +1,128 @@
+"""Unit tests for streams, masters, slaves and the network model."""
+
+import pytest
+
+from repro.profibus import (
+    Master,
+    MessageCycleSpec,
+    MessageStream,
+    Network,
+    PhyParameters,
+    Slave,
+    token_pass_time,
+)
+
+
+class TestMessageStream:
+    def test_implicit_deadline(self):
+        s = MessageStream("s", T=1000)
+        assert s.D == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MessageStream("s", T=0)
+        with pytest.raises(ValueError):
+            MessageStream("s", T=10, D=0)
+        with pytest.raises(ValueError):
+            MessageStream("s", T=10, J=-1)
+        with pytest.raises(ValueError):
+            MessageStream("s", T=10, C_bits=0)
+
+    def test_cycle_bits_from_spec(self):
+        phy = PhyParameters()
+        s = MessageStream("s", T=1000,
+                          spec=MessageCycleSpec(req_payload=0, resp_payload=0))
+        from repro.profibus import cycle_time
+
+        assert s.cycle_bits(phy) == cycle_time(s.spec, phy)
+
+    def test_cbits_override(self):
+        s = MessageStream("s", T=1000, C_bits=777)
+        assert s.cycle_bits(PhyParameters()) == 777
+
+    def test_as_task_and_token_task(self):
+        phy = PhyParameters()
+        s = MessageStream("s", T=1000, D=800, J=5)
+        t = s.as_task(phy)
+        assert (t.T, t.D, t.J, t.name) == (1000, 800, 5, "s")
+        tt = s.as_token_task(4321)
+        assert tt.C == 4321
+
+    def test_with_jitter_deadline(self):
+        s = MessageStream("s", T=1000)
+        assert s.with_jitter(9).J == 9
+        assert s.with_deadline(500).D == 500
+
+
+class TestMaster:
+    def test_high_low_partition(self):
+        m = Master(1, (
+            MessageStream("h", T=100),
+            MessageStream("l", T=100, high_priority=False),
+        ))
+        assert [s.name for s in m.high_streams] == ["h"]
+        assert [s.name for s in m.low_streams] == ["l"]
+        assert m.nh == 1
+
+    def test_duplicate_stream_names_rejected(self):
+        with pytest.raises(ValueError):
+            Master(1, (MessageStream("x", T=10), MessageStream("x", T=20)))
+
+    def test_address_range(self):
+        with pytest.raises(ValueError):
+            Master(127)
+        with pytest.raises(ValueError):
+            Master(-1)
+
+    def test_default_name(self):
+        assert Master(5).name == "M5"
+
+    def test_stream_lookup(self):
+        m = Master(1, (MessageStream("x", T=10),))
+        assert m.stream("x").T == 10
+        with pytest.raises(KeyError):
+            m.stream("y")
+
+
+class TestNetwork:
+    def _net(self, **kw):
+        return Network(
+            masters=(Master(1, (MessageStream("a", T=1000),)), Master(2)),
+            slaves=(Slave(10),),
+            **kw,
+        )
+
+    def test_requires_master(self):
+        with pytest.raises(ValueError):
+            Network(masters=())
+
+    def test_duplicate_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            Network(masters=(Master(1), Master(1)))
+        with pytest.raises(ValueError):
+            Network(masters=(Master(1),), slaves=(Slave(1),))
+
+    def test_ring_latency(self):
+        net = self._net()
+        assert net.ring_latency() == 2 * token_pass_time(net.phy)
+
+    def test_master_lookup(self):
+        net = self._net()
+        assert net.master(2).address == 2
+        assert net.master_named("M1").address == 1
+        with pytest.raises(KeyError):
+            net.master(9)
+
+    def test_ttr_handling(self):
+        net = self._net()
+        with pytest.raises(ValueError):
+            net.require_ttr()
+        net2 = net.with_ttr(5000)
+        assert net2.require_ttr() == 5000
+        with pytest.raises(ValueError):
+            Network(masters=(Master(1),), ttr=0)
+
+    def test_all_streams_and_counts(self):
+        net = self._net()
+        assert len(net.all_streams()) == 1
+        assert net.high_stream_count() == 1

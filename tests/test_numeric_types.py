@@ -1,0 +1,84 @@
+"""The analyses accept int, float and Fraction time values consistently."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    Task,
+    TaskSet,
+    assign_deadline_monotonic,
+    edf_response_time,
+    nonpreemptive_rta,
+    preemptive_rta,
+    processor_demand_test,
+    synchronous_busy_period,
+)
+
+
+def _as_type(cast):
+    return assign_deadline_monotonic(TaskSet([
+        Task(C=cast(1), T=cast(4), name="t0"),
+        Task(C=cast(2), T=cast(6), name="t1"),
+        Task(C=cast(3), T=cast(10), name="t2"),
+    ]))
+
+
+INT = _as_type(int)
+
+
+class TestFloatTimes:
+    def test_preemptive_rta_matches_int(self):
+        fl = _as_type(float)
+        assert [rt.value for rt in preemptive_rta(fl).per_task] == [
+            rt.value for rt in preemptive_rta(INT).per_task
+        ]
+
+    def test_nonpreemptive_rta_matches_int(self):
+        fl = _as_type(float)
+        assert [rt.value for rt in nonpreemptive_rta(fl).per_task] == [
+            rt.value for rt in nonpreemptive_rta(INT).per_task
+        ]
+
+    def test_demand_test_matches_int(self):
+        assert processor_demand_test(_as_type(float)).schedulable == (
+            processor_demand_test(INT).schedulable
+        )
+
+    def test_noisy_floats_still_exact(self):
+        # values with representation noise must not flip ceilings
+        ts = assign_deadline_monotonic(TaskSet([
+            Task(C=0.1 * 10, T=0.4 * 10, name="a"),  # 1.0000000000000002...
+            Task(C=0.2 * 10, T=0.6 * 10, name="b"),
+        ]))
+        res = preemptive_rta(ts)
+        assert res.response("a").value == pytest.approx(1.0)
+        assert res.response("b").value == pytest.approx(3.0)
+
+
+class TestFractionTimes:
+    def test_preemptive_rta_exact(self):
+        fr = _as_type(Fraction)
+        values = [rt.value for rt in preemptive_rta(fr).per_task]
+        assert values == [1, 3, 10]
+        assert all(isinstance(v, (int, Fraction)) for v in values)
+
+    def test_sub_unit_times(self):
+        # fractional task parameters: scaled version of the worked set
+        ts = assign_deadline_monotonic(TaskSet([
+            Task(C=Fraction(1, 2), T=Fraction(2), name="a"),
+            Task(C=Fraction(1), T=Fraction(3), name="b"),
+            Task(C=Fraction(3, 2), T=Fraction(5), name="c"),
+        ]))
+        values = [rt.value for rt in preemptive_rta(ts).per_task]
+        # exactly half the integer worked set's responses
+        assert values == [Fraction(1, 2), Fraction(3, 2), Fraction(5)]
+
+    def test_busy_period_exact(self):
+        ts = _as_type(Fraction)
+        assert synchronous_busy_period(ts) == 10
+
+    def test_edf_rta_fraction(self):
+        ts = _as_type(Fraction)
+        rt = edf_response_time(ts, ts[2], preemptive=True)
+        assert rt.value == 8

@@ -1,0 +1,214 @@
+"""Equation-by-equation index: every numbered equation of the paper,
+the function implementing it, and a worked check.
+
+This file doubles as documentation (see DESIGN.md §2): if you want to
+know where eq. (N) lives, read ``test_eq_N`` below.
+"""
+
+import pytest
+
+from repro.core import (
+    Task,
+    TaskSet,
+    assign_deadline_monotonic,
+    dbf,
+    edf_response_time,
+    edf_utilization_test,
+    george_test,
+    liu_layland_bound,
+    make_taskset,
+    nonpreemptive_blocking,
+    nonpreemptive_response_time,
+    processor_demand_test,
+    rm_utilization_test,
+    zheng_shin_test,
+)
+from repro.profibus import (
+    Master,
+    MessageStream,
+    Network,
+    PhyParameters,
+    dm_analysis,
+    edf_analysis,
+    fcfs_analysis,
+    fcfs_max_feasible_ttr,
+    tcycle,
+    tdel,
+)
+
+
+@pytest.fixture
+def worked():
+    """(C,T) = (1,4), (2,6), (3,10) under DM — used throughout §2."""
+    return assign_deadline_monotonic(make_taskset([(1, 4), (2, 6), (3, 10)]))
+
+
+@pytest.fixture
+def net():
+    """Two-master network with simple abstract cycle lengths."""
+    phy = PhyParameters()
+    m1 = Master(1, (
+        MessageStream("a", T=100_000, D=40_000, C_bits=500),
+        MessageStream("b", T=120_000, D=80_000, C_bits=700),
+    ))
+    m2 = Master(2, (MessageStream("c", T=90_000, D=60_000, C_bits=600),))
+    return Network(masters=(m1, m2), phy=phy, ttr=10_000)
+
+
+class TestSurveyPreamble:
+    def test_liu_layland_rm_bound(self, worked):
+        """§2.1: ΣC/T ≤ n(2^{1/n}−1) — repro.core.utilization."""
+        res = rm_utilization_test(worked)
+        assert res.bound == pytest.approx(liu_layland_bound(3))
+        # U = 1/4+2/6+3/10 = 0.8833 > 0.7798: the cheap test is
+        # inconclusive, yet the set is RTA-schedulable — the reason
+        # response-time tests are "more advantageous" (paper, §2.1)
+        assert not res.schedulable
+        from repro.core import preemptive_rta
+
+        assert preemptive_rta(worked).schedulable
+
+    def test_joseph_pandya_recursion(self, worked):
+        """§2.1: rᵢ = Cᵢ + Σ⌈rᵢ/Tⱼ⌉Cⱼ — repro.core.rta_fixed."""
+        from repro.core import preemptive_rta
+
+        assert [rt.value for rt in preemptive_rta(worked).per_task] == [1, 3, 10]
+
+
+class TestEq1and2:
+    def test_eq_1_nonpreemptive_response(self, worked):
+        """eq. (1): rᵢ = wᵢ + Cᵢ — repro.core.rta_fixed.nonpreemptive_response_time."""
+        rt = nonpreemptive_response_time(worked, worked[0])
+        # w = B(3) + 0 interference; r = 3 + 1 = 4
+        assert rt.value == 4
+
+    def test_eq_2_blocking(self, worked):
+        """eq. (2): Bᵢ = max_{j∈lp(i)} Cⱼ — repro.core.blocking."""
+        assert nonpreemptive_blocking(worked, worked[0]) == 3
+        assert nonpreemptive_blocking(worked, worked[2]) == 0
+
+
+class TestEq3:
+    def test_eq_3_processor_demand(self, worked):
+        """eq. (3): ∀t∈S dbf(t) ≤ t — repro.core.demand.processor_demand_test."""
+        assert processor_demand_test(worked).schedulable
+        # dbf at the worked set's deadline points
+        assert dbf(worked, 4) == 1
+        assert dbf(worked, 6) == 3
+        assert dbf(worked, 10) == 7
+
+    def test_eq_3_utilisation_prerequisite(self):
+        """§2.2: ΣC/T ≤ 1 — repro.core.utilization.edf_utilization_test."""
+        assert edf_utilization_test(make_taskset([(1, 2), (1, 2)])).schedulable
+
+
+class TestEq4and5:
+    def test_eq_4_zheng_shin(self, worked):
+        """eq. (4): dbf(t) + max Cᵢ ≤ t — repro.core.edf_nonpreemptive."""
+        assert not zheng_shin_test(worked).schedulable
+
+    def test_eq_5_george_refinement(self, worked):
+        """eq. (5): blocking only from Dᵢ > t, minus one — george_test.
+
+        The paper's §2.2 point: eq. (5) reduces eq. (4)'s pessimism; the
+        worked set demonstrates it (rejected by (4), accepted by (5)).
+        """
+        assert george_test(worked).schedulable
+
+
+class TestEq6to8:
+    def test_eq_6_7_preemptive_edf_response(self, worked):
+        """eqs. (6)-(7): rᵢ(a) scan — repro.core.edf_rta (preemptive)."""
+        rt = edf_response_time(worked, worked[2], preemptive=True)
+        assert rt.value == 8
+        assert rt.critical_a is not None
+
+    def test_eq_8_offset_set(self, worked):
+        """eq. (8): a ∈ {kTⱼ+Dⱼ−Dᵢ} ∩ [0,L] — _candidate_offsets."""
+        from repro.core.busy_period import synchronous_busy_period
+        from repro.core.edf_rta import _candidate_offsets
+
+        L = synchronous_busy_period(worked)
+        offsets = _candidate_offsets(worked, worked[2], L)
+        assert 0 in offsets
+        assert all(0 <= a <= L for a in offsets)
+        # contains D_j - D_i points: e.g. for j = t0: 4-10 < 0 dropped,
+        # next k: 4+4-10 < 0, 8+4-10 = 2
+        assert 2 in offsets
+
+
+class TestEq9and10:
+    def test_eq_9_nonpreemptive_edf_response(self, worked):
+        """eq. (9): busy period precedes the *start* — edf_rta (np)."""
+        values = [
+            edf_response_time(worked, t, preemptive=False).value
+            for t in worked
+        ]
+        assert values == [3, 5, 6]
+
+    def test_eq_10_synchronous_busy_period(self, worked):
+        """eq. (10): L = ΣW(L) — repro.core.busy_period."""
+        from repro.core import synchronous_busy_period
+
+        assert synchronous_busy_period(worked) == 10
+
+
+class TestEq11and12:
+    def test_eq_11_fcfs_response(self, net):
+        """eq. (11): R = nh·Tcycle — repro.profibus.fcfs."""
+        res = fcfs_analysis(net)
+        tc = tcycle(net)
+        assert res.response("M1", "a").R == 2 * tc
+        assert res.response("M2", "c").R == 1 * tc
+
+    def test_eq_12_schedulability_condition(self, net):
+        """eq. (12): Dhᵢ ≥ Rᵢ ∀ streams — NetworkAnalysis.schedulable."""
+        assert fcfs_analysis(net).schedulable
+        tighter = Network(
+            masters=(net.masters[0].with_streams([
+                net.masters[0].streams[0].with_deadline(5_000),
+                net.masters[0].streams[1],
+            ]), net.masters[1]),
+            phy=net.phy, ttr=net.ttr,
+        )
+        assert not fcfs_analysis(tighter).schedulable
+
+
+class TestEq13and14:
+    def test_eq_13_tdel(self, net):
+        """eq. (13): Tdel = Σ C_M^k — repro.profibus.timing.tdel."""
+        assert tdel(net) == 700 + 600
+
+    def test_eq_14_tcycle(self, net):
+        """eq. (14): Tcycle = TTR + Tdel — repro.profibus.timing.tcycle."""
+        assert tcycle(net) == 10_000 + 1_300
+
+
+class TestEq15:
+    def test_eq_15_ttr_setting(self, net):
+        """eq. (15): TTR ≤ min(D/nh) − Tdel — fcfs_max_feasible_ttr."""
+        # min(40000/2, 80000/2, 60000/1) = 20000; − 1300 = 18700
+        assert fcfs_max_feasible_ttr(net) == 18_700
+
+
+class TestEq16:
+    def test_eq_16_dm_messages(self, net):
+        """eq. (16): C → Tcycle in eq. (1) — repro.profibus.dm."""
+        res = dm_analysis(net)
+        tc = tcycle(net)
+        # M1: 'a' (tighter D) gets blocking + own = 2 Tcycle;
+        # 'b' gets interference from 'a' + own = 2 Tcycle (long periods)
+        assert res.response("M1", "a").R == 2 * tc
+        assert res.response("M1", "b").R == 2 * tc
+        assert res.response("M2", "c").R == 1 * tc
+
+
+class TestEq17and18:
+    def test_eq_17_18_edf_messages(self, net):
+        """eqs. (17)-(18): C → Tcycle in eqs. (9)-(10) — repro.profibus.edf."""
+        res = edf_analysis(net)
+        tc = tcycle(net)
+        assert res.response("M1", "a").R == 2 * tc
+        assert res.response("M2", "c").R == 1 * tc
+        for sr in res.per_stream:
+            assert sr.R >= tc  # eq. (17): R(a) ≥ Tcycle

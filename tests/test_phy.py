@@ -1,0 +1,71 @@
+"""Unit tests for the PHY timing model."""
+
+import pytest
+
+from repro.profibus import (
+    BITS_PER_CHAR,
+    STANDARD_BAUD_RATES,
+    PhyParameters,
+    bits_to_seconds,
+    char_time_bits,
+    seconds_to_bits,
+)
+
+
+class TestCharTime:
+    def test_eleven_bits_per_char(self):
+        assert BITS_PER_CHAR == 11
+        assert char_time_bits(1) == 11
+        assert char_time_bits(6) == 66
+
+    def test_zero_chars(self):
+        assert char_time_bits(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            char_time_bits(-1)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        for baud in STANDARD_BAUD_RATES:
+            bits = 1234
+            assert seconds_to_bits(bits_to_seconds(bits, baud), baud) == bits
+
+    def test_bits_to_seconds_scale(self):
+        assert bits_to_seconds(500_000, 500_000) == pytest.approx(1.0)
+        assert bits_to_seconds(500, 500_000) == pytest.approx(1e-3)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            bits_to_seconds(1, 0)
+        with pytest.raises(ValueError):
+            seconds_to_bits(-1.0, 500_000)
+
+
+class TestPhyParameters:
+    def test_defaults_valid(self):
+        phy = PhyParameters()
+        assert phy.baud_rate == 500_000
+        assert phy.tsl > phy.tsdr_max
+
+    def test_ms_helper(self):
+        phy = PhyParameters(baud_rate=500_000)
+        assert phy.ms(500) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhyParameters(baud_rate=0)
+        with pytest.raises(ValueError):
+            PhyParameters(tsdr_min=10, tsdr_max=5)
+        with pytest.raises(ValueError):
+            PhyParameters(tsl=30, tsdr_max=60)  # slot time below tsdr
+        with pytest.raises(ValueError):
+            PhyParameters(max_retry=-1)
+        with pytest.raises(ValueError):
+            PhyParameters(tid1=-1)
+
+    def test_frozen(self):
+        phy = PhyParameters()
+        with pytest.raises(Exception):
+            phy.baud_rate = 12

@@ -1,0 +1,76 @@
+"""Unit tests for priority assignment (RM, DM, Audsley OPA)."""
+
+import pytest
+
+from repro.core import (
+    Task,
+    TaskSet,
+    assign_audsley,
+    assign_deadline_monotonic,
+    assign_rate_monotonic,
+    feasible_at_lowest_nonpreemptive,
+    make_taskset,
+    nonpreemptive_rta,
+    priorities_are_dm,
+    priorities_are_rm,
+)
+
+
+class TestRateMonotonic:
+    def test_shorter_period_higher_priority(self):
+        ts = assign_rate_monotonic(make_taskset([(1, 10), (1, 5), (1, 20)]))
+        assert ts[1].priority < ts[0].priority < ts[2].priority
+
+    def test_ties_broken_by_position(self):
+        ts = assign_rate_monotonic(make_taskset([(1, 5), (1, 5)]))
+        assert ts[0].priority < ts[1].priority
+
+    def test_predicate(self):
+        ts = assign_rate_monotonic(make_taskset([(1, 10), (1, 5)]))
+        assert priorities_are_rm(ts)
+
+
+class TestDeadlineMonotonic:
+    def test_shorter_deadline_higher_priority(self):
+        ts = assign_deadline_monotonic(
+            make_taskset([(1, 10, 9), (1, 5, 5), (1, 20, 2)])
+        )
+        assert ts[2].priority < ts[1].priority < ts[0].priority
+
+    def test_predicate(self):
+        ts = assign_deadline_monotonic(make_taskset([(1, 10, 3), (1, 5, 5)]))
+        assert priorities_are_dm(ts)
+        assert not priorities_are_rm(ts)
+
+    def test_original_order_kept(self):
+        ts = assign_deadline_monotonic(make_taskset([(1, 10, 9), (1, 5, 5)]))
+        # the TaskSet order is unchanged; only priorities are filled in
+        assert [t.T for t in ts] == [10, 5]
+
+
+class TestAudsley:
+    def test_finds_assignment_where_dm_fails(self):
+        # Non-preemptive with blocking: DM is not optimal; OPA must find
+        # any feasible order when one exists.
+        ts = make_taskset([(2, 10, 10), (3, 15, 12), (4, 20, 20)])
+        out = assign_audsley(ts, feasible_at_lowest_nonpreemptive)
+        assert out is not None
+        assert nonpreemptive_rta(out).schedulable
+
+    def test_agrees_with_dm_on_schedulable_set(self):
+        ts = make_taskset([(1, 8, 6), (2, 12, 10), (2, 20, 20)])
+        dm = assign_deadline_monotonic(ts)
+        assert nonpreemptive_rta(dm).schedulable
+        opa = assign_audsley(ts, feasible_at_lowest_nonpreemptive)
+        assert opa is not None
+        assert nonpreemptive_rta(opa).schedulable
+
+    def test_returns_none_when_infeasible(self):
+        # utilisation far above 1: nothing can work
+        ts = make_taskset([(9, 10, 10), (9, 10, 10)])
+        assert assign_audsley(ts, feasible_at_lowest_nonpreemptive) is None
+
+    def test_priorities_are_a_permutation(self):
+        ts = make_taskset([(1, 8), (1, 12), (1, 20)])
+        out = assign_audsley(ts, feasible_at_lowest_nonpreemptive)
+        assert sorted(t.priority for t in out) == [0, 1, 2]

@@ -1,0 +1,314 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These encode the theory-level relationships the paper relies on:
+dominance between tests, equivalences, monotonicity, and soundness of
+the analytic bounds against the simulators.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Task,
+    TaskSet,
+    assign_deadline_monotonic,
+    ceil_div,
+    dbf,
+    edf_rta,
+    floor_div,
+    george_test,
+    hyperbolic_test,
+    nonpreemptive_rta,
+    preemptive_rta,
+    processor_demand_test,
+    qpa_test,
+    rm_utilization_test,
+    synchronous_busy_period,
+    zheng_shin_test,
+)
+from repro.sim import simulate_uniproc
+
+# ---------------------------------------------------------------- strategies
+
+positive_int = st.integers(min_value=1, max_value=10_000)
+
+
+@st.composite
+def small_tasksets(draw, max_tasks=4, max_period=30, implicit=False):
+    """Small integer task sets with utilisation <= 1."""
+    n = draw(st.integers(min_value=1, max_value=max_tasks))
+    tasks = []
+    budget = 1.0
+    for i in range(n):
+        T = draw(st.integers(min_value=2, max_value=max_period))
+        max_c = max(1, int(budget * T))
+        assume(max_c >= 1)
+        C = draw(st.integers(min_value=1, max_value=max_c))
+        budget -= C / T
+        assume(budget >= -1e-9)
+        if implicit:
+            D = T
+        else:
+            D = draw(st.integers(min_value=C, max_value=T))
+        tasks.append(Task(C=C, T=T, D=D, name=f"t{i}"))
+    return TaskSet(tasks)
+
+
+# ------------------------------------------------------------------ timeops
+
+
+class TestArithmeticProperties:
+    @given(st.integers(-10**9, 10**9), st.integers(1, 10**6))
+    def test_ceil_floor_match_fraction_math(self, a, b):
+        assert ceil_div(a, b) == math.ceil(Fraction(a, b))
+        assert floor_div(a, b) == math.floor(Fraction(a, b))
+
+    @given(st.integers(-10**6, 10**6), st.integers(1, 10**4))
+    def test_ceil_minus_floor_at_most_one(self, a, b):
+        d = ceil_div(a, b) - floor_div(a, b)
+        assert d in (0, 1)
+        assert (d == 0) == (a % b == 0)
+
+
+# ------------------------------------------------------------------- demand
+
+
+class TestDemandProperties:
+    @given(small_tasksets())
+    @settings(max_examples=60, deadline=None)
+    def test_dbf_monotone(self, ts):
+        horizon = min(200, 3 * max(t.T for t in ts))
+        prev = 0
+        for t in range(horizon):
+            cur = dbf(ts, t)
+            assert cur >= prev
+            prev = cur
+
+    @given(small_tasksets())
+    @settings(max_examples=60, deadline=None)
+    def test_qpa_equals_exhaustive(self, ts):
+        assert qpa_test(ts).schedulable == processor_demand_test(ts).schedulable
+
+    @given(small_tasksets())
+    @settings(max_examples=50, deadline=None)
+    def test_fp_schedulable_implies_edf_feasible(self, ts):
+        # EDF optimality: preemptive-FP schedulable => EDF feasible
+        dm = assign_deadline_monotonic(ts)
+        if preemptive_rta(dm).schedulable:
+            assert processor_demand_test(ts).schedulable
+
+    @given(small_tasksets())
+    @settings(max_examples=50, deadline=None)
+    def test_edf_rta_consistent_with_demand(self, ts):
+        assert edf_rta(ts, preemptive=True).schedulable == (
+            processor_demand_test(ts).schedulable
+        )
+
+
+class TestNonpreemptiveDominance:
+    @given(small_tasksets())
+    @settings(max_examples=60, deadline=None)
+    def test_george_dominates_zheng_shin(self, ts):
+        if zheng_shin_test(ts).schedulable:
+            assert george_test(ts).schedulable
+
+    @given(small_tasksets())
+    @settings(max_examples=40, deadline=None)
+    def test_np_feasible_implies_preemptive_feasible(self, ts):
+        if george_test(ts).schedulable:
+            assert processor_demand_test(ts).schedulable
+
+
+class TestUtilizationProperties:
+    @given(small_tasksets(implicit=True))
+    @settings(max_examples=60, deadline=None)
+    def test_hyperbolic_dominates_liu_layland(self, ts):
+        if rm_utilization_test(ts).schedulable:
+            assert hyperbolic_test(ts).schedulable
+
+    @given(small_tasksets(implicit=True))
+    @settings(max_examples=40, deadline=None)
+    def test_ll_implies_rta_schedulable(self, ts):
+        rm = assign_deadline_monotonic(ts)  # DM == RM for D = T
+        if rm_utilization_test(ts).schedulable:
+            assert preemptive_rta(rm).schedulable
+
+
+class TestBusyPeriodProperties:
+    @given(small_tasksets())
+    @settings(max_examples=60, deadline=None)
+    def test_busy_period_at_least_sum_c(self, ts):
+        L = synchronous_busy_period(ts)
+        assert L >= sum(t.C for t in ts)
+
+    @given(small_tasksets())
+    @settings(max_examples=40, deadline=None)
+    def test_busy_period_is_fixed_point(self, ts):
+        from repro.core import ceil_div as cd
+
+        L = synchronous_busy_period(ts)
+        assert L == sum(cd(L, t.T) * t.C for t in ts)
+
+
+class TestSoundnessVsSimulation:
+    @given(small_tasksets())
+    @settings(max_examples=25, deadline=None)
+    def test_preemptive_fp_bound_sound(self, ts):
+        dm = assign_deadline_monotonic(ts)
+        res = preemptive_rta(dm)
+        horizon = min(2 * (dm.hyperperiod() or 500), 2000)
+        stats = simulate_uniproc(dm, horizon, policy="fp")
+        for rt in res.per_task:
+            if rt.value is not None:
+                assert stats.max_response.get(rt.task.name, 0) <= rt.value
+
+    @given(small_tasksets())
+    @settings(max_examples=25, deadline=None)
+    def test_nonpreemptive_fp_bound_sound(self, ts):
+        dm = assign_deadline_monotonic(ts)
+        res = nonpreemptive_rta(dm)
+        horizon = min(2 * (dm.hyperperiod() or 500), 2000)
+        stats = simulate_uniproc(dm, horizon, policy="fp", preemptive=False)
+        for rt in res.per_task:
+            if rt.value is not None:
+                assert stats.max_response.get(rt.task.name, 0) <= rt.value
+
+    @given(small_tasksets(), st.lists(st.integers(0, 10), min_size=4, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_edf_bounds_sound_with_offsets(self, ts, offsets):
+        res = edf_rta(ts, preemptive=True)
+        horizon = min(2 * (ts.hyperperiod() or 500), 2000)
+        stats = simulate_uniproc(
+            ts, horizon, policy="edf", offsets=offsets[: ts.n]
+        )
+        for rt in res.per_task:
+            if rt.value is not None:
+                assert stats.max_response.get(rt.task.name, 0) <= rt.value
+
+    @given(small_tasksets(), st.lists(st.integers(0, 10), min_size=4, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_np_edf_bounds_sound_with_offsets(self, ts, offsets):
+        res = edf_rta(ts, preemptive=False)
+        horizon = min(2 * (ts.hyperperiod() or 500), 2000)
+        stats = simulate_uniproc(
+            ts, horizon, policy="edf", preemptive=False, offsets=offsets[: ts.n]
+        )
+        for rt in res.per_task:
+            if rt.value is not None:
+                assert stats.max_response.get(rt.task.name, 0) <= rt.value
+
+
+# -------------------------------------------------------------- generators
+
+
+class TestGeneratorProperties:
+    @given(st.integers(1, 12), st.floats(0.05, 0.95), st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_uunifast_partition(self, n, u, seed):
+        import random
+
+        from repro.gen import uunifast
+
+        utils = uunifast(n, u, random.Random(seed))
+        assert len(utils) == n
+        assert sum(utils) == pytest.approx(u)
+        assert all(x >= 0 for x in utils)
+
+
+# ---------------------------------------------------------------- PROFIBUS
+
+
+class TestProfibusProperties:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_dm_tightest_stream_never_worse_than_fcfs(self, seed):
+        from repro.gen import network_with_ttr_headroom, random_network
+        from repro.profibus import dm_analysis, fcfs_analysis
+
+        net = network_with_ttr_headroom(
+            random_network(n_masters=2, streams_per_master=3, seed=seed)
+        )
+        dm = dm_analysis(net)
+        fcfs = fcfs_analysis(net)
+        for m in net.masters:
+            tight = min(m.high_streams, key=lambda s: s.D)
+            r_dm = dm.response(m.name, tight.name).R
+            r_fcfs = fcfs.response(m.name, tight.name).R
+            if r_dm is not None:
+                assert r_dm <= r_fcfs
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_tdel_refined_never_exceeds_aggregate(self, seed):
+        from repro.gen import random_network
+        from repro.profibus import tdel, tdel_refined
+
+        net = random_network(seed=seed)
+        assert tdel_refined(net) <= tdel(net)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_serialization_round_trip(self, seed):
+        from repro.gen import network_with_ttr_headroom, random_network
+        from repro.profibus import (
+            analyse,
+            network_from_dict,
+            network_to_dict,
+        )
+
+        net = network_with_ttr_headroom(random_network(seed=seed))
+        loaded = network_from_dict(network_to_dict(net))
+        for policy in ("fcfs", "dm"):
+            a, b = analyse(net, policy), analyse(loaded, policy)
+            assert a.schedulable == b.schedulable
+            assert [sr.R for sr in a.per_stream] == [sr.R for sr in b.per_stream]
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_stack_depth_bounds_monotone(self, seed):
+        from repro.gen import network_with_ttr_headroom, random_network
+        from repro.profibus import stack_depth_analysis
+
+        net = network_with_ttr_headroom(
+            random_network(n_masters=2, streams_per_master=3, seed=seed)
+        )
+        prev = None
+        for depth in (1, 2, 4):
+            rs = [
+                sr.R if sr.R is not None else float("inf")
+                for sr in stack_depth_analysis(net, depth).per_stream
+            ]
+            if prev is not None:
+                assert all(a >= b for a, b in zip(rs, prev))
+            prev = rs
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_opa_dominates_fixed_rules(self, seed):
+        import random as _random
+
+        from repro.profibus import (
+            Master,
+            MessageStream,
+            Network,
+            PhyParameters,
+            djm_analysis,
+            dm_analysis,
+            opa_analysis,
+        )
+
+        rng = _random.Random(seed)
+        streams = []
+        for i in range(rng.randint(2, 4)):
+            T = rng.randint(20, 60) * 1000
+            J = rng.choice([0, rng.randint(1, 6) * 1000])
+            D = min(T, rng.randint(3, 12) * 1000 + J)
+            streams.append(MessageStream(f"s{i}", T=T, D=D, J=J, C_bits=500))
+        net = Network(masters=(Master(1, tuple(streams)),),
+                      phy=PhyParameters(), ttr=500)
+        if dm_analysis(net).schedulable or djm_analysis(net).schedulable:
+            assert opa_analysis(net).schedulable

@@ -1,0 +1,124 @@
+"""Unit tests for the outgoing-queue disciplines."""
+
+import pytest
+
+from repro.sim.queues import (
+    DMQueue,
+    EDFQueue,
+    FCFSQueue,
+    Request,
+    StackQueue,
+    make_queue,
+)
+
+
+def _req(name, release, rel_deadline, seq):
+    return Request(
+        stream_name=name,
+        master="M1",
+        release=release,
+        deadline=release + rel_deadline,
+        rel_deadline=rel_deadline,
+        cycle_bits=100,
+        seq=seq,
+    )
+
+
+class TestFCFSQueue:
+    def test_arrival_order(self):
+        q = FCFSQueue()
+        q.push(_req("b", 5, 10, 2))
+        q.push(_req("a", 1, 99, 1))
+        assert q.pop().stream_name == "a"
+        assert q.pop().stream_name == "b"
+
+    def test_tie_by_seq(self):
+        q = FCFSQueue()
+        q.push(_req("x", 5, 10, 2))
+        q.push(_req("y", 5, 10, 1))
+        assert q.pop().stream_name == "y"
+
+    def test_len_bool_peek(self):
+        q = FCFSQueue()
+        assert not q and len(q) == 0 and q.peek() is None
+        q.push(_req("a", 0, 5, 1))
+        assert q and len(q) == 1 and q.peek().stream_name == "a"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            FCFSQueue().pop()
+
+
+class TestDMQueue:
+    def test_relative_deadline_order(self):
+        q = DMQueue()
+        q.push(_req("lax", 0, 100, 1))
+        q.push(_req("tight", 5, 10, 2))
+        assert q.pop().stream_name == "tight"
+
+    def test_static_order_ignores_release(self):
+        q = DMQueue()
+        q.push(_req("a", 99, 10, 1))
+        q.push(_req("b", 0, 20, 2))
+        assert q.pop().stream_name == "a"
+
+
+class TestEDFQueue:
+    def test_absolute_deadline_order(self):
+        q = EDFQueue()
+        q.push(_req("early-release-lax", 0, 100, 1))   # deadline 100
+        q.push(_req("late-release-tight", 50, 20, 2))  # deadline 70
+        assert q.pop().stream_name == "late-release-tight"
+
+    def test_dm_and_edf_differ(self):
+        # DM picks the smaller relative deadline; EDF the earlier absolute
+        dm, edf = DMQueue(), EDFQueue()
+        a = _req("a", 0, 50, 1)    # abs 50
+        b = _req("b", 45, 10, 2)   # abs 55
+        for q in (dm, edf):
+            q.push(a)
+            q.push(b)
+        assert dm.pop().stream_name == "b"
+        assert edf.pop().stream_name == "a"
+
+    def test_drain_sorted(self):
+        q = EDFQueue()
+        for i, rd in enumerate([30, 10, 20]):
+            q.push(_req(f"s{i}", 0, rd, i))
+        assert [r.rel_deadline for r in q.drain()] == [10, 20, 30]
+
+
+class TestMakeQueue:
+    def test_factory(self):
+        assert isinstance(make_queue("fcfs"), FCFSQueue)
+        assert isinstance(make_queue("dm"), DMQueue)
+        assert isinstance(make_queue("edf"), EDFQueue)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_queue("rr")
+
+
+class TestStackQueue:
+    def test_depth_one_overflow(self):
+        s = StackQueue(depth=1)
+        s.push(_req("a", 0, 5, 1))
+        assert s.free == 0
+        with pytest.raises(OverflowError):
+            s.push(_req("b", 0, 5, 2))
+
+    def test_fifo_within_stack(self):
+        s = StackQueue(depth=2)
+        s.push(_req("a", 0, 50, 1))
+        s.push(_req("b", 0, 5, 2))
+        assert s.pop().stream_name == "a"  # FIFO, not priority
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            StackQueue(depth=0)
+
+    def test_peek_and_len(self):
+        s = StackQueue(depth=1)
+        assert s.peek() is None and not s
+        s.push(_req("a", 0, 5, 1))
+        assert s.peek().stream_name == "a" and len(s) == 1

@@ -1,0 +1,110 @@
+"""Tests for the result dataclasses (core and PROFIBUS)."""
+
+import pytest
+
+from repro.core import Task
+from repro.core.results import AnalysisResult, FeasibilityResult, ResponseTime
+from repro.profibus import MessageStream
+from repro.profibus.results import NetworkAnalysis, StreamResponse
+
+
+class TestResponseTime:
+    def test_schedulable_and_slack(self):
+        t = Task(C=1, T=10, D=8, name="a")
+        rt = ResponseTime(task=t, value=5)
+        assert rt.schedulable
+        assert rt.slack == 3
+
+    def test_unbounded(self):
+        t = Task(C=1, T=10, name="a")
+        rt = ResponseTime(task=t, value=None)
+        assert not rt.schedulable
+        assert rt.slack is None
+
+    def test_boundary(self):
+        t = Task(C=1, T=10, D=5, name="a")
+        assert ResponseTime(task=t, value=5).schedulable
+        assert not ResponseTime(task=t, value=6).schedulable
+
+
+class TestAnalysisResult:
+    def _result(self):
+        t0 = Task(C=1, T=10, D=8, name="a")
+        t1 = Task(C=2, T=20, D=4, name="b")
+        return AnalysisResult(
+            schedulable=False,
+            per_task=(
+                ResponseTime(task=t0, value=5),
+                ResponseTime(task=t1, value=None),
+            ),
+            test="x",
+        )
+
+    def test_bool(self):
+        assert not self._result()
+        assert AnalysisResult(schedulable=True)
+
+    def test_response_lookup(self):
+        res = self._result()
+        assert res.response("a").value == 5
+        with pytest.raises(KeyError):
+            res.response("zzz")
+
+    def test_worst_response_ignores_none(self):
+        assert self._result().worst_response == 5
+
+    def test_summary_lines(self):
+        lines = self._result().summary()
+        assert any("MISS" in l for l in lines)
+        assert any("ok" in l for l in lines)
+        assert any("∞" in l for l in lines)
+
+
+class TestFeasibilityResult:
+    def test_bool(self):
+        assert FeasibilityResult(schedulable=True, test="t")
+        assert not FeasibilityResult(schedulable=False, test="t")
+
+
+class TestStreamResponse:
+    def test_schedulable_slack(self):
+        s = MessageStream("x", T=1000, D=800)
+        sr = StreamResponse(master="M1", stream=s, R=700)
+        assert sr.schedulable and sr.slack == 100
+        sr2 = StreamResponse(master="M1", stream=s, R=None)
+        assert not sr2.schedulable and sr2.slack is None
+
+
+class TestNetworkAnalysis:
+    def _na(self):
+        s0 = MessageStream("x", T=1000, D=800)
+        s1 = MessageStream("y", T=1000, D=100)
+        return NetworkAnalysis(
+            policy="dm",
+            ttr=100,
+            tcycle=200,
+            per_stream=(
+                StreamResponse(master="M1", stream=s0, R=700),
+                StreamResponse(master="M2", stream=s1, R=400),
+            ),
+        )
+
+    def test_schedulable_aggregates(self):
+        na = self._na()
+        assert not na.schedulable
+        assert not na
+
+    def test_lookup_and_for_master(self):
+        na = self._na()
+        assert na.response("M1", "x").R == 700
+        assert [sr.stream.name for sr in na.for_master("M2")] == ["y"]
+        with pytest.raises(KeyError):
+            na.response("M9", "x")
+
+    def test_worst_response(self):
+        assert self._na().worst_response == 700
+
+    def test_summary(self):
+        lines = self._na().summary()
+        assert "policy=dm" in lines[0]
+        assert any("MISS" in l for l in lines)

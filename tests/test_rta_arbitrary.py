@@ -1,0 +1,92 @@
+"""Tests for the arbitrary-deadline preemptive RTA (Lehoczky busy period)."""
+
+import pytest
+
+from repro.core import (
+    Task,
+    TaskSet,
+    assign_deadline_monotonic,
+    assign_rate_monotonic,
+    make_taskset,
+    preemptive_response_time,
+    preemptive_response_time_arbitrary,
+)
+from repro.sim import simulate_uniproc
+
+
+class TestLehoczkyExample:
+    def test_second_instance_is_worst(self):
+        # the classic (52,100) + (52,140) set: the single-instance bound
+        # for the low task is 104+52 = 156? no — the first instance gives
+        # 52+2*52 = 156 via ceil; the point is later instances do NOT
+        # improve and the busy-period scan agrees with simulation exactly
+        ts = assign_rate_monotonic(TaskSet([
+            Task(C=52, T=100, D=300, name="a"),
+            Task(C=52, T=140, D=300, name="b"),
+        ]))
+        rt = preemptive_response_time_arbitrary(ts, ts[1])
+        assert rt.value == 156
+        stats = simulate_uniproc(ts, 5_000, policy="fp")
+        assert stats.max_response["b"] == 156
+
+    def test_heavier_set_later_instance_dominates(self):
+        # U ≈ 0.99: the busy period spans many instances and a later
+        # instance of the low-priority task responds worse than the first
+        ts = assign_rate_monotonic(TaskSet([
+            Task(C=26, T=70, D=200, name="hi"),
+            Task(C=62, T=100, D=300, name="lo"),
+        ]))
+        multi = preemptive_response_time_arbitrary(ts, ts[1])
+        # first-instance-only recursion (bounded by D):
+        single = preemptive_response_time(ts, ts[1], limit_factor=10)
+        assert multi.value > single.value
+        stats = simulate_uniproc(ts, 14_000, policy="fp")
+        assert stats.max_response["lo"] == multi.value
+
+
+class TestAgreementWithClassicRTA:
+    def test_matches_when_r_below_t(self, basic_dm_taskset):
+        for task in basic_dm_taskset:
+            classic = preemptive_response_time(basic_dm_taskset, task)
+            arb = preemptive_response_time_arbitrary(basic_dm_taskset, task)
+            assert classic.value == arb.value
+
+    def test_matches_on_random_constrained_sets(self):
+        from repro.gen import random_taskset
+
+        for seed in range(20):
+            ts = assign_deadline_monotonic(
+                random_taskset(4, 0.7, seed=seed, t_min=5, t_max=50)
+            )
+            for task in ts:
+                classic = preemptive_response_time(ts, task)
+                arb = preemptive_response_time_arbitrary(ts, task)
+                if classic.value is not None and classic.value <= task.T:
+                    assert arb.value == classic.value, (seed, task.name)
+
+
+class TestSoundness:
+    def test_sound_vs_simulation(self):
+        import random
+
+        from repro.gen import random_taskset
+
+        for seed in range(10):
+            base = random_taskset(3, 0.9, seed=seed, t_min=5, t_max=30)
+            # stretch deadlines beyond periods
+            ts = assign_rate_monotonic(TaskSet([
+                Task(C=t.C, T=t.T, D=3 * t.T, name=t.name) for t in base
+            ]))
+            horizon = min(3 * (ts.hyperperiod() or 2_000), 20_000)
+            stats = simulate_uniproc(ts, horizon, policy="fp")
+            for task in ts:
+                rt = preemptive_response_time_arbitrary(ts, task)
+                if rt.value is not None:
+                    observed = stats.max_response.get(task.name, 0)
+                    assert observed <= rt.value, (seed, task.name)
+
+    def test_overload_reports_none(self):
+        ts = assign_rate_monotonic(TaskSet([
+            Task(C=3, T=4, D=40, name="a"), Task(C=3, T=4, D=40, name="b"),
+        ]))
+        assert preemptive_response_time_arbitrary(ts, ts[1]).value is None

@@ -1,0 +1,145 @@
+"""Unit tests for fixed-priority response-time analysis (eqs. (1)-(2))."""
+
+import pytest
+
+from repro.core import (
+    Task,
+    TaskSet,
+    assign_deadline_monotonic,
+    make_taskset,
+    nonpreemptive_response_time,
+    nonpreemptive_rta,
+    preemptive_response_time,
+    preemptive_rta,
+)
+
+
+class TestPreemptiveRTA:
+    def test_worked_example(self, basic_dm_taskset):
+        res = preemptive_rta(basic_dm_taskset)
+        assert [rt.value for rt in res.per_task] == [1, 3, 10]
+        assert res.schedulable
+
+    def test_highest_priority_is_own_c(self):
+        ts = assign_deadline_monotonic(make_taskset([(5, 100, 10), (1, 7, 50)]))
+        # the (1,7) task has the shorter deadline? no: D=10 < 50, so (5,100,10) is top
+        top = res = preemptive_response_time(ts, ts[0])
+        assert top.value == 5
+
+    def test_unschedulable_reports_none(self):
+        ts = assign_deadline_monotonic(make_taskset([(3, 5), (3, 6)]))
+        res = preemptive_rta(ts)
+        assert res.per_task[0].value == 3
+        assert res.per_task[1].value is None
+        assert not res.schedulable
+
+    def test_exact_boundary_meets_deadline(self):
+        # r == D is schedulable: (2,4)+(4,8) fills the whole hyperperiod
+        ts = assign_deadline_monotonic(make_taskset([(2, 4), (4, 8)]))
+        res = preemptive_rta(ts)
+        assert res.response("t1").value == 8
+        assert res.schedulable
+
+    def test_jitter_adds_interference_and_offset(self):
+        base = TaskSet([Task(C=1, T=4, name="hi"), Task(C=2, T=20, name="lo")])
+        base = assign_deadline_monotonic(base)
+        jittered = TaskSet(
+            [Task(C=1, T=4, J=3, name="hi"), Task(C=2, T=20, name="lo")]
+        )
+        jittered = assign_deadline_monotonic(jittered)
+        r_base = preemptive_response_time(base, base[1]).value
+        r_jit = preemptive_response_time(jittered, jittered[1]).value
+        assert r_jit >= r_base
+        # own jitter shifts the reported response
+        r_hi = preemptive_response_time(jittered, jittered[0]).value
+        assert r_hi == 1 + 3
+
+    def test_response_monotone_in_c(self):
+        for c in range(1, 4):
+            ts = assign_deadline_monotonic(make_taskset([(c, 10), (2, 15)]))
+            r = preemptive_response_time(ts, ts[1]).value
+            if c > 1:
+                assert r >= prev
+            prev = r
+
+
+class TestNonpreemptiveRTA:
+    def test_worked_example(self, basic_dm_taskset):
+        res = nonpreemptive_rta(basic_dm_taskset)
+        # hand computation (see conftest): r = [4, 7->miss(None? no: 7>6 => value kept)]
+        values = [rt.value for rt in res.per_task]
+        assert values[0] == 4
+        assert values[2] == 6
+        # middle task exceeds its deadline 6 -> reported as None (cap D+J-C)
+        assert values[1] is None
+        assert not res.schedulable
+
+    def test_blocking_from_lowest(self):
+        # two tasks: top is delayed by B = C_low
+        ts = assign_deadline_monotonic(make_taskset([(1, 10, 5), (4, 50, 50)]))
+        rt = nonpreemptive_response_time(ts, ts[0])
+        assert rt.value == 4 + 1  # B + C
+
+    def test_lowest_priority_no_blocking(self):
+        ts = assign_deadline_monotonic(make_taskset([(1, 10, 5), (4, 50, 50)]))
+        rt = nonpreemptive_response_time(ts, ts[1])
+        # w = B(0) + interference of (1,10) releases in [0,w]
+        # w=1 -> floor(1/10)+1 = 1 -> w=1; r = 1+4 = 5
+        assert rt.value == 5
+
+    def test_strict_start_counts_boundary_release(self):
+        # interference release exactly at w must count under strict_start
+        ts = assign_deadline_monotonic(
+            make_taskset([(2, 5, 4), (3, 15, 15)])
+        )
+        strict = nonpreemptive_response_time(ts, ts[1], strict_start=True)
+        loose = nonpreemptive_response_time(ts, ts[1], strict_start=False)
+        assert strict.value >= loose.value
+
+    def test_single_task_is_c(self):
+        ts = assign_deadline_monotonic(make_taskset([(3, 10)]))
+        assert nonpreemptive_response_time(ts, ts[0]).value == 3
+
+    def test_jitter_in_interference(self):
+        plain = assign_deadline_monotonic(TaskSet([
+            Task(C=1, T=4, name="hi"), Task(C=2, T=30, name="lo"),
+        ]))
+        jit = assign_deadline_monotonic(TaskSet([
+            Task(C=1, T=4, J=3, name="hi"), Task(C=2, T=30, name="lo"),
+        ]))
+        assert (
+            nonpreemptive_response_time(jit, jit[1]).value
+            >= nonpreemptive_response_time(plain, plain[1]).value
+        )
+
+
+class TestAgainstSimulation:
+    """Soundness: simulated responses never exceed the analytic bounds."""
+
+    def _check(self, ts, preemptive):
+        from repro.sim import simulate_uniproc
+
+        analysis = preemptive_rta(ts) if preemptive else nonpreemptive_rta(ts)
+        horizon = (ts.hyperperiod() or 1000) * 3
+        stats = simulate_uniproc(ts, horizon, policy="fp", preemptive=preemptive)
+        for rt in analysis.per_task:
+            observed = stats.max_response.get(rt.task.name, 0)
+            if rt.value is not None:
+                assert observed <= rt.value, (rt.task.name, observed, rt.value)
+
+    def test_preemptive_sound(self, basic_dm_taskset):
+        self._check(basic_dm_taskset, preemptive=True)
+
+    def test_nonpreemptive_sound(self, basic_dm_taskset):
+        self._check(basic_dm_taskset, preemptive=False)
+
+    def test_preemptive_tight_at_critical_instant(self, basic_dm_taskset):
+        # synchronous release IS the critical instant for preemptive FP:
+        # the analysis should be met with equality
+        from repro.sim import simulate_uniproc
+
+        analysis = preemptive_rta(basic_dm_taskset)
+        horizon = basic_dm_taskset.hyperperiod() * 2
+        stats = simulate_uniproc(basic_dm_taskset, horizon, policy="fp")
+        for rt in analysis.per_task:
+            assert stats.max_response[rt.task.name] == rt.value

@@ -1,0 +1,91 @@
+"""Tests pinning the reference scenarios to their documented regimes."""
+
+import pytest
+
+from repro.profibus import analyse, tdel, ttr_advantage
+from repro.scenarios import (
+    FACTORY_CELL_TTR,
+    factory_cell_network,
+    paper_illustration_network,
+    single_master_network,
+)
+
+
+class TestFactoryCell:
+    def test_headline_regime(self):
+        net = factory_cell_network()
+        assert not analyse(net, "fcfs").schedulable
+        assert analyse(net, "dm").schedulable
+        assert analyse(net, "edf").schedulable
+
+    def test_fcfs_miss_is_the_tight_stream(self):
+        net = factory_cell_network()
+        res = analyse(net, "fcfs")
+        misses = [
+            (sr.master, sr.stream.name)
+            for sr in res.per_stream
+            if not sr.schedulable
+        ]
+        assert misses == [("cell", "axis-setpoint")]
+
+    def test_default_ttr(self):
+        assert factory_cell_network().ttr == FACTORY_CELL_TTR
+
+    def test_ttr_override_and_none(self):
+        assert factory_cell_network(ttr=9999).ttr == 9999
+        assert factory_cell_network(ttr=None).ttr is None
+
+    def test_has_low_priority_overrunner(self):
+        net = factory_cell_network()
+        lows = [s for m in net.masters for s in m.low_streams]
+        assert lows
+        # the low stream drives Tdel: its cycle is the longest
+        from repro.profibus import longest_cycle
+
+        sup = net.master_named("supervisor")
+        assert longest_cycle(sup, net.phy) == max(
+            s.cycle_bits(net.phy) for s in sup.streams
+        )
+
+    def test_ttr_advantage_positive(self):
+        adv = ttr_advantage(factory_cell_network())
+        assert adv["dm"] > adv["fcfs"]
+
+
+class TestSingleMaster:
+    def test_policy_separation(self):
+        net = single_master_network()
+        assert not analyse(net, "fcfs").schedulable
+        assert analyse(net, "dm").schedulable
+        assert analyse(net, "edf").schedulable
+
+    def test_stream_count_configurable(self):
+        net = single_master_network(n_streams=3)
+        assert net.masters[0].nh == 3
+
+    def test_deadline_spread(self):
+        net = single_master_network()
+        ds = [s.D for s in net.masters[0].streams]
+        assert ds == sorted(ds)
+        assert ds[-1] == 5 * ds[0]
+
+
+class TestIllustration:
+    def test_three_masters(self):
+        net = paper_illustration_network()
+        assert net.n_masters == 3
+
+    def test_bulk_is_the_overrunner(self):
+        net = paper_illustration_network()
+        from repro.profibus import longest_cycle
+
+        m1 = net.masters[0]
+        assert m1.stream("bulk").cycle_bits(net.phy) == longest_cycle(
+            m1, net.phy
+        )
+
+    def test_tdel_dominated_by_bulk(self):
+        net = paper_illustration_network()
+        bulk = net.masters[0].stream("bulk").cycle_bits(net.phy)
+        assert tdel(net) > bulk
+        assert tdel(net) < 2 * bulk  # other masters' cycles are small

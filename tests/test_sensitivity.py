@@ -1,0 +1,95 @@
+"""Tests for the sensitivity analysis (critical scaling / breakdown U)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    breakdown_utilization,
+    critical_scaling_factor,
+    make_taskset,
+    preemptive_rta,
+    processor_demand_test,
+    scale_execution_times,
+)
+from repro.core.priority import assign_deadline_monotonic
+
+
+def _edf_ok(ts):
+    return processor_demand_test(ts).schedulable
+
+
+def _fp_ok(ts):
+    return preemptive_rta(assign_deadline_monotonic(ts)).schedulable
+
+
+class TestScaleExecutionTimes:
+    def test_doubling(self):
+        ts = make_taskset([(1, 10), (3, 20)])
+        scaled = scale_execution_times(ts, Fraction(2))
+        assert [t.C for t in scaled] == [2, 6]
+
+    def test_rounds_up_never_optimistic(self):
+        ts = make_taskset([(3, 10)])
+        scaled = scale_execution_times(ts, Fraction(1, 2))
+        assert scaled[0].C == 2  # ceil(1.5)
+
+    def test_floor_at_one(self):
+        ts = make_taskset([(1, 10)])
+        scaled = scale_execution_times(ts, Fraction(1, 100))
+        assert scaled[0].C == 1
+
+    def test_rejects_nonpositive(self):
+        ts = make_taskset([(1, 10)])
+        with pytest.raises(ValueError):
+            scale_execution_times(ts, Fraction(0))
+
+
+class TestCriticalScalingFactor:
+    def test_edf_scales_to_full_utilization(self):
+        # U = 0.5 under EDF with D=T: critical factor ≈ 2
+        ts = make_taskset([(1, 4), (1, 4)])
+        alpha = critical_scaling_factor(ts, _edf_ok)
+        assert alpha is not None
+        assert Fraction(15, 8) <= alpha <= Fraction(2)
+
+    def test_schedulable_at_reported_factor(self):
+        ts = make_taskset([(1, 5), (2, 10), (2, 20)])
+        alpha = critical_scaling_factor(ts, _edf_ok)
+        assert _edf_ok(scale_execution_times(ts, alpha))
+
+    def test_overloaded_set_returns_none(self):
+        # even at the smallest probe every C stays >= 1 and the deadline
+        # of 1 cannot hold both tasks
+        ts = make_taskset([(5, 6, 1), (5, 6, 1)])
+        assert critical_scaling_factor(ts, _edf_ok) is None
+
+    def test_fp_factor_not_above_edf(self):
+        # EDF is optimal: its critical factor dominates fixed priority
+        ts = make_taskset([(2, 8), (3, 12), (1, 20)])
+        a_fp = critical_scaling_factor(ts, _fp_ok)
+        a_edf = critical_scaling_factor(ts, _edf_ok)
+        assert a_fp is not None and a_edf is not None
+        assert a_fp <= a_edf
+
+    def test_upper_cap_respected(self):
+        ts = make_taskset([(1, 1000)])
+        alpha = critical_scaling_factor(ts, _edf_ok, upper=Fraction(8))
+        assert alpha == Fraction(8)
+
+    def test_precision_validation(self):
+        ts = make_taskset([(1, 10)])
+        with pytest.raises(ValueError):
+            critical_scaling_factor(ts, _edf_ok, precision=Fraction(0))
+
+
+class TestBreakdownUtilization:
+    def test_edf_breakdown_near_one(self):
+        ts = make_taskset([(1, 4), (1, 8), (1, 16)])
+        b = breakdown_utilization(ts, _edf_ok)
+        assert b is not None
+        assert 0.85 <= b <= 1.0
+
+    def test_none_when_hopeless(self):
+        ts = make_taskset([(5, 6, 1), (5, 6, 1)])
+        assert breakdown_utilization(ts, _edf_ok) is None

@@ -1,0 +1,106 @@
+"""Tests for scenario (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.profibus import (
+    ScenarioFormatError,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.scenarios import factory_cell_network, single_master_network
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [factory_cell_network,
+                                         single_master_network])
+    def test_round_trip_preserves_analysis(self, factory, tmp_path):
+        from repro.profibus import analyse
+
+        net = factory()
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        for policy in ("fcfs", "dm", "edf"):
+            a = analyse(net, policy)
+            b = analyse(loaded, policy)
+            assert a.schedulable == b.schedulable
+            assert a.tcycle == b.tcycle
+            assert [sr.R for sr in a.per_stream] == [sr.R for sr in b.per_stream]
+
+    def test_round_trip_structure(self):
+        net = factory_cell_network()
+        doc = network_to_dict(net)
+        again = network_to_dict(network_from_dict(doc))
+        assert doc == again
+
+    def test_cbits_override_round_trip(self, tmp_path):
+        from repro.profibus import Master, MessageStream, Network
+
+        net = Network(masters=(Master(1, (
+            MessageStream("x", T=1000, C_bits=777),
+        )),), ttr=500)
+        path = tmp_path / "n.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        assert loaded.masters[0].stream("x").cycle_bits(loaded.phy) == 777
+
+
+class TestValidation:
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ScenarioFormatError):
+            network_from_dict({"masters": [], "bogus": 1})
+
+    def test_typo_in_stream_rejected(self):
+        doc = {
+            "masters": [{
+                "address": 1,
+                "streams": [{"name": "s", "T": 100, "dealine": 50}],
+            }],
+        }
+        with pytest.raises(ScenarioFormatError):
+            network_from_dict(doc)
+
+    def test_missing_masters(self):
+        with pytest.raises(ScenarioFormatError):
+            network_from_dict({"phy": {}})
+
+    def test_non_object_document(self):
+        with pytest.raises(ScenarioFormatError):
+            network_from_dict([1, 2, 3])
+
+    def test_invalid_json_file(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(ScenarioFormatError):
+            load_network(p)
+
+    def test_unknown_phy_key(self):
+        with pytest.raises(ScenarioFormatError):
+            network_from_dict({"masters": [{"address": 1}],
+                               "phy": {"baudrate": 9600}})
+
+    def test_semantic_errors_propagate(self):
+        # model-level validation still applies after parsing
+        with pytest.raises(ValueError):
+            network_from_dict({"masters": [
+                {"address": 1, "streams": [{"name": "s", "T": 0}]},
+            ]})
+
+
+class TestMinimalDocuments:
+    def test_defaults_fill_in(self):
+        net = network_from_dict({"masters": [{"address": 3}]})
+        assert net.phy.baud_rate == 500_000
+        assert net.ttr is None
+        assert net.masters[0].name == "M3"
+
+    def test_slaves_parsed(self):
+        net = network_from_dict({
+            "masters": [{"address": 1}],
+            "slaves": [{"address": 9, "name": "drive"}],
+        })
+        assert net.slaves[0].name == "drive"

@@ -1,0 +1,100 @@
+"""Tests for simulator statistics: percentiles, warm-up window, errors."""
+
+import pytest
+
+from repro.profibus import Master, MessageStream, Network, PhyParameters
+from repro.profibus import MessageCycleSpec, attempt_time, cycle_time
+from repro.sim import TokenBusConfig, simulate_token_bus
+
+
+class TestPercentiles:
+    def _run(self, single_master):
+        cfg = TokenBusConfig(policy="ap-dm", trace_responses=True)
+        return simulate_token_bus(single_master, 2_000_000, config=cfg)
+
+    def test_percentile_ordering(self, single_master):
+        res = self._run(single_master)
+        st = res.stream("M1", "s0")
+        assert st.percentile(50) <= st.percentile(90) <= st.percentile(100)
+        assert st.percentile(100) == st.max_response
+
+    def test_percentile_requires_tracing(self, single_master):
+        res = simulate_token_bus(single_master, 200_000)
+        with pytest.raises(ValueError):
+            res.stream("M1", "s0").percentile(50)
+
+    def test_percentile_validation(self, single_master):
+        res = self._run(single_master)
+        st = res.stream("M1", "s0")
+        with pytest.raises(ValueError):
+            st.percentile(0)
+        with pytest.raises(ValueError):
+            st.percentile(101)
+
+
+class TestWarmupWindow:
+    def test_stats_after_excludes_transient(self, single_master):
+        full = simulate_token_bus(single_master, 1_000_000)
+        steady = simulate_token_bus(
+            single_master, 1_000_000,
+            config=TokenBusConfig(stats_after=200_000),
+        )
+        st_full = full.stream("M1", "s0")
+        st_steady = steady.stream("M1", "s0")
+        assert st_steady.completed < st_full.completed
+        # the synchronous burst at t=0 is the worst phase; excluding it
+        # cannot raise the observed maximum
+        assert st_steady.max_response <= st_full.max_response
+
+    def test_token_stats_unaffected(self, single_master):
+        a = simulate_token_bus(single_master, 500_000)
+        b = simulate_token_bus(
+            single_master, 500_000, config=TokenBusConfig(stats_after=250_000)
+        )
+        assert a.masters["M1"].token_visits == b.masters["M1"].token_visits
+        assert a.max_trr == b.max_trr
+
+
+class TestErrorModel:
+    def _net(self, ttr=5_000):
+        phy = PhyParameters(max_retry=2)
+        spec = MessageCycleSpec(req_payload=8, resp_payload=8)
+        m = Master(1, (MessageStream("s", T=20_000, spec=spec),))
+        return Network(masters=(m,), phy=phy, ttr=ttr)
+
+    def test_error_free_cycles_are_nominal(self):
+        net = self._net()
+        phy = net.phy
+        spec = net.masters[0].stream("s").spec
+        cfg = TokenBusConfig(error_rate=1e-9, trace_responses=True, seed=1)
+        res = simulate_token_bus(net, 400_000, config=cfg)
+        st = res.stream("M1", "s")
+        # nearly every cycle at the nominal single-attempt time
+        assert min(st.responses) < cycle_time(spec, phy)
+        assert min(st.responses) >= attempt_time(spec, phy)
+
+    def test_full_error_rate_worst_case(self):
+        net = self._net()
+        spec = net.masters[0].stream("s").spec
+        cfg = TokenBusConfig(error_rate=1.0, trace_responses=True, seed=1)
+        res = simulate_token_bus(net, 400_000, config=cfg)
+        st = res.stream("M1", "s")
+        assert min(st.responses) >= cycle_time(spec, net.phy)
+
+    def test_errors_never_break_the_bound(self):
+        # the analysis charges worst-case Ch, so any error rate is covered
+        from repro.profibus import fcfs_analysis
+
+        net = self._net()
+        bound = fcfs_analysis(net).response("M1", "s").R
+        for rate in (0.0, 0.3, 1.0):
+            cfg = TokenBusConfig(error_rate=rate, seed=7)
+            res = simulate_token_bus(net, 800_000, config=cfg)
+            assert res.stream("M1", "s").max_response <= bound
+
+    def test_deterministic_given_seed(self):
+        net = self._net()
+        cfg = TokenBusConfig(error_rate=0.5, trace_responses=True, seed=9)
+        a = simulate_token_bus(net, 300_000, config=cfg)
+        b = simulate_token_bus(net, 300_000, config=cfg)
+        assert a.stream("M1", "s").responses == b.stream("M1", "s").responses

@@ -1,0 +1,57 @@
+"""Tests for the stack-depth-k analysis (extension; E4.b counterpart)."""
+
+import pytest
+
+from repro.profibus import dm_analysis, stack_depth_analysis
+from repro.sim import TokenBusConfig, simulate_token_bus
+
+
+class TestStackDepthAnalysis:
+    def test_depth_one_is_dm(self, single_master, factory_cell):
+        for net in (single_master, factory_cell):
+            a = stack_depth_analysis(net, 1)
+            b = dm_analysis(net)
+            assert [sr.R for sr in a.per_stream] == [sr.R for sr in b.per_stream]
+
+    def test_bounds_monotone_in_depth(self, single_master):
+        prev = None
+        for depth in (1, 2, 3, 5):
+            res = stack_depth_analysis(single_master, depth)
+            rs = [sr.R if sr.R is not None else float("inf")
+                  for sr in res.per_stream]
+            if prev is not None:
+                assert all(a >= b for a, b in zip(rs, prev))
+            prev = rs
+
+    def test_blocking_saturates_at_lp_count(self, single_master):
+        # 5 streams: depth beyond 4 cannot add blocking for anyone
+        a = stack_depth_analysis(single_master, 4)
+        b = stack_depth_analysis(single_master, 40)
+        assert [sr.R for sr in a.per_stream] == [sr.R for sr in b.per_stream]
+
+    def test_deep_stack_breaks_schedulability(self, single_master):
+        assert stack_depth_analysis(single_master, 1).schedulable
+        assert not stack_depth_analysis(single_master, 2).schedulable
+
+    def test_policy_label_and_detail(self, single_master):
+        res = stack_depth_analysis(single_master, 3)
+        assert res.policy == "dm-stack3"
+        assert res.detail["stack_depth"] == 3
+
+    def test_depth_validation(self, single_master):
+        with pytest.raises(ValueError):
+            stack_depth_analysis(single_master, 0)
+
+
+class TestSoundnessVsSimulator:
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    def test_simulated_responses_within_bounds(self, single_master, depth):
+        analysis = stack_depth_analysis(single_master, depth)
+        sim = simulate_token_bus(
+            single_master, 2_000_000,
+            config=TokenBusConfig(policy="ap-dm", stack_depth=depth),
+        )
+        for sr in analysis.per_stream:
+            observed = sim.stream("M1", sr.stream.name).max_response
+            if sr.R is not None:
+                assert observed <= sr.R, (depth, sr.stream.name)

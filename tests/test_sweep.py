@@ -1,0 +1,108 @@
+"""Tests for the parameter-sweep module and CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.profibus import (
+    SweepRow,
+    baud_sweep,
+    deadline_scale_sweep,
+    rows_to_csv,
+    ttr_sweep,
+)
+
+
+class TestTtrSweep:
+    def test_row_per_value_and_policy(self, factory_cell):
+        rows = ttr_sweep(factory_cell, (1000, 2000), policies=("fcfs", "dm"))
+        assert len(rows) == 4
+        assert {r.policy for r in rows} == {"fcfs", "dm"}
+
+    def test_feasibility_monotone_decreasing(self, factory_cell):
+        rows = ttr_sweep(factory_cell, range(500, 9001, 500),
+                         policies=("dm",))
+        flips = [r.schedulable for r in rows]
+        # once infeasible, stays infeasible
+        seen_false = False
+        for f in flips:
+            if not f:
+                seen_false = True
+            if seen_false:
+                assert not f
+
+    def test_below_ring_latency_reported_unschedulable(self, factory_cell):
+        rows = ttr_sweep(factory_cell, (10,), policies=("dm",))
+        assert not rows[0].schedulable
+        assert rows[0].worst_response is None
+
+    def test_worst_response_grows_with_ttr(self, factory_cell):
+        rows = ttr_sweep(factory_cell, (1000, 4000, 8000), policies=("fcfs",))
+        values = [r.worst_response for r in rows]
+        assert values == sorted(values)
+
+
+class TestDeadlineScaleSweep:
+    def test_acceptance_monotone_in_factor(self, factory_cell):
+        rows = deadline_scale_sweep(factory_cell, (0.3, 0.6, 1.0, 1.5),
+                                    policies=("dm",))
+        sched = [r.schedulable for r in rows]
+        # loosening deadlines can only help
+        for a, b in zip(sched, sched[1:]):
+            assert b or not a
+
+    def test_factor_validation(self, factory_cell):
+        with pytest.raises(ValueError):
+            deadline_scale_sweep(factory_cell, (0.0,))
+
+    def test_deadlines_clamped_to_period(self, factory_cell):
+        rows = deadline_scale_sweep(factory_cell, (100.0,), policies=("dm",))
+        assert rows[0].schedulable  # D = T everywhere is the laxest case
+
+
+class TestBaudSweep:
+    def test_factory_cell_needs_fast_line(self, factory_cell):
+        rows = baud_sweep(factory_cell, (500_000, 1_500_000),
+                          policies=("dm",))
+        by_baud = {r.value: r.schedulable for r in rows}
+        assert not by_baud[500_000]
+        assert by_baud[1_500_000]
+
+    def test_identity_at_native_baud(self, factory_cell):
+        from repro.profibus import analyse
+
+        rows = baud_sweep(factory_cell, (factory_cell.phy.baud_rate,),
+                          policies=("edf",))
+        assert rows[0].schedulable == analyse(factory_cell, "edf").schedulable
+        assert rows[0].tcycle == analyse(factory_cell, "edf").tcycle
+
+
+class TestCsv:
+    def test_header_and_rows(self, factory_cell):
+        rows = ttr_sweep(factory_cell, (1000,), policies=("dm",))
+        csv = rows_to_csv(rows)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("parameter,value,policy")
+        assert len(lines) == 2
+        assert "dm" in lines[1]
+
+    def test_none_rendered_empty(self, factory_cell):
+        rows = ttr_sweep(factory_cell, (10,), policies=("dm",))
+        csv = rows_to_csv(rows)
+        assert ",,," in csv or ",,\n" in csv or ",," in csv
+
+
+class TestCliSweep:
+    def test_ttr_sweep_csv(self, capsys):
+        rc = main(["sweep", "--scenario", "factory-cell", "--param", "ttr",
+                   "--start", "1000", "--stop", "3000", "--step", "1000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("parameter,")
+        assert len(lines) == 1 + 3 * 3  # 3 values x 3 policies
+
+    def test_baud_sweep(self, capsys):
+        rc = main(["sweep", "--scenario", "single-master", "--param", "baud"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "baud" in out

@@ -1,0 +1,116 @@
+"""Unit tests for the task / task-set model."""
+
+import pytest
+
+from repro.core import Task, TaskSet, make_taskset
+from repro.core.priority import assign_deadline_monotonic
+
+
+class TestTask:
+    def test_defaults_implicit_deadline(self):
+        t = Task(C=2, T=10)
+        assert t.D == 10
+        assert t.J == 0
+
+    def test_explicit_deadline(self):
+        t = Task(C=2, T=10, D=7)
+        assert t.D == 7
+
+    def test_utilization_and_density(self):
+        t = Task(C=2, T=10, D=5)
+        assert t.utilization == pytest.approx(0.2)
+        assert t.density == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Task(C=0, T=10)
+        with pytest.raises(ValueError):
+            Task(C=1, T=0)
+        with pytest.raises(ValueError):
+            Task(C=1, T=10, D=0)
+        with pytest.raises(ValueError):
+            Task(C=1, T=10, J=-1)
+
+    def test_with_priority_and_jitter_are_copies(self):
+        t = Task(C=1, T=5, name="a")
+        t2 = t.with_priority(3)
+        t3 = t.with_jitter(2)
+        assert t.priority is None and t2.priority == 3
+        assert t.J == 0 and t3.J == 2
+        assert t2.name == t3.name == "a"
+
+    def test_frozen(self):
+        t = Task(C=1, T=5)
+        with pytest.raises(Exception):
+            t.C = 2
+
+
+class TestTaskSet:
+    def test_iteration_order_preserved(self):
+        ts = make_taskset([(1, 10), (2, 5)])
+        assert [t.T for t in ts] == [10, 5]
+
+    def test_len_getitem(self):
+        ts = make_taskset([(1, 10), (2, 5)])
+        assert len(ts) == 2
+        assert ts[1].C == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSet([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSet([Task(C=1, T=2, name="x"), Task(C=1, T=3, name="x")])
+
+    def test_utilization_sums(self):
+        ts = make_taskset([(1, 4), (1, 4)])
+        assert ts.utilization == pytest.approx(0.5)
+
+    def test_by_name(self):
+        ts = make_taskset([(1, 4), (2, 6)])
+        assert ts.by_name("t1").C == 2
+        with pytest.raises(KeyError):
+            ts.by_name("zz")
+
+    def test_hyperperiod(self):
+        assert make_taskset([(1, 4), (1, 6)]).hyperperiod() == 12
+
+    def test_hp_lp_require_priorities(self):
+        ts = make_taskset([(1, 4), (2, 6)])
+        with pytest.raises(ValueError):
+            ts.hp(ts[0])
+
+    def test_hp_lp_views(self):
+        ts = assign_deadline_monotonic(make_taskset([(1, 4), (2, 6), (3, 10)]))
+        t_mid = ts[1]
+        assert [t.T for t in ts.hp(t_mid)] == [4]
+        assert [t.T for t in ts.lp(t_mid)] == [10]
+
+    def test_sorted_by_priority(self):
+        ts = assign_deadline_monotonic(make_taskset([(3, 10), (1, 4)]))
+        ordered = ts.sorted_by_priority()
+        assert [t.T for t in ordered] == [4, 10]
+
+    def test_map(self):
+        ts = make_taskset([(1, 4), (2, 6)])
+        doubled = ts.map(lambda t: Task(C=t.C * 2, T=t.T, name=t.name))
+        assert [t.C for t in doubled] == [2, 4]
+
+    def test_equality(self):
+        a = make_taskset([(1, 4)])
+        b = make_taskset([(1, 4)])
+        assert a == b
+        assert a != make_taskset([(2, 4)])
+
+
+class TestMakeTaskset:
+    def test_two_three_four_tuples(self):
+        ts = make_taskset([(1, 4), (2, 6, 5), (3, 10, 9, "video")])
+        assert ts[0].D == 4
+        assert ts[1].D == 5
+        assert ts[2].name == "video"
+
+    def test_bad_spec(self):
+        with pytest.raises(ValueError):
+            make_taskset([(1,)])

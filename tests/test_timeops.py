@@ -1,0 +1,156 @@
+"""Unit tests for repro.core.timeops (exact time arithmetic)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.timeops import (
+    DivergedError,
+    almost_equal,
+    ceil_div,
+    fixed_point,
+    floor_div,
+    hyperperiod,
+    lcm_all,
+    pos,
+)
+
+
+class TestCeilDiv:
+    def test_exact_ints(self):
+        assert ceil_div(7, 3) == 3
+        assert ceil_div(6, 3) == 2
+        assert ceil_div(0, 5) == 0
+        assert ceil_div(1, 5) == 1
+
+    def test_negative_numerator(self):
+        assert ceil_div(-1, 3) == 0
+        assert ceil_div(-3, 3) == -1
+        assert ceil_div(-4, 3) == -1
+
+    def test_fractions(self):
+        assert ceil_div(Fraction(7, 2), Fraction(1, 2)) == 7
+        assert ceil_div(Fraction(7, 2), Fraction(1, 3)) == 11
+
+    def test_float_noise_absorbed(self):
+        # 0.1 * 3 = 0.30000000000000004 must not bump the ceiling
+        assert ceil_div(0.1 * 3, 0.3) == 1
+        assert ceil_div(2.9999999999999996, 1.0) == 3
+
+    def test_true_float_ceiling(self):
+        assert ceil_div(3.01, 1.0) == 4
+        assert ceil_div(2.5, 1.0) == 3
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(1, -2)
+
+
+class TestFloorDiv:
+    def test_exact_ints(self):
+        assert floor_div(7, 3) == 2
+        assert floor_div(6, 3) == 2
+        assert floor_div(-1, 3) == -1
+
+    def test_fractions(self):
+        assert floor_div(Fraction(7, 2), Fraction(1, 2)) == 7
+        assert floor_div(Fraction(10, 3), Fraction(1, 3)) == 10
+
+    def test_float_noise_absorbed(self):
+        assert floor_div(0.3 * 10, 3.0) == 1
+        assert floor_div(2.9999999999999996, 3.0) == 1  # treated as 3.0
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            floor_div(1, 0)
+
+
+class TestPos:
+    def test_positive_passthrough(self):
+        assert pos(5) == 5
+        assert pos(0.5) == 0.5
+
+    def test_clamps_negative(self):
+        assert pos(-3) == 0
+        assert pos(0) == 0
+
+
+class TestAlmostEqual:
+    def test_exact_types(self):
+        assert almost_equal(3, 3)
+        assert not almost_equal(3, 4)
+        assert almost_equal(Fraction(1, 3), Fraction(1, 3))
+
+    def test_float_tolerance(self):
+        assert almost_equal(0.1 + 0.2, 0.3)
+        assert not almost_equal(0.1, 0.2)
+
+
+class TestLcmHyperperiod:
+    def test_lcm_all(self):
+        assert lcm_all([4, 6]) == 12
+        assert lcm_all([2, 3, 5]) == 30
+        assert lcm_all([7]) == 7
+
+    def test_lcm_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            lcm_all([])
+        with pytest.raises(ValueError):
+            lcm_all([0])
+        with pytest.raises(ValueError):
+            lcm_all([1.5])
+
+    def test_hyperperiod_ints(self):
+        assert hyperperiod([4, 6, 10]) == 60
+
+    def test_hyperperiod_integral_floats(self):
+        assert hyperperiod([4.0, 6.0]) == 12
+
+    def test_hyperperiod_non_integral_is_none(self):
+        assert hyperperiod([4, 6.5]) is None
+
+
+class TestFixedPoint:
+    def test_converges_to_rta_value(self):
+        # r = 3 + ceil(r/4)*1 + ceil(r/6)*2 -> the classic recursion
+        from repro.core.timeops import ceil_div as cd
+
+        def f(r):
+            return 3 + cd(r, 4) * 1 + cd(r, 6) * 2
+
+        value, its, converged = fixed_point(f, 3)
+        assert converged
+        assert value == f(value) == 10
+
+    def test_limit_reports_nonconvergence(self):
+        def f(r):
+            return r + 1  # diverges
+
+        value, its, converged = fixed_point(f, 0, limit=100)
+        assert not converged
+        assert value > 100
+
+    def test_monotonicity_violation_raises(self):
+        calls = []
+
+        def f(r):
+            calls.append(r)
+            return 5 if len(calls) == 1 else 1
+
+        with pytest.raises(ValueError):
+            fixed_point(f, 0)
+
+    def test_max_iter_guard(self):
+        # converges towards, but never reaches, a fixed point within budget
+        def f(r):
+            return r + 0.5  # no limit given -> must hit max_iter
+
+        with pytest.raises(DivergedError):
+            fixed_point(f, 0.0, max_iter=50)
+
+    def test_immediate_fixed_point(self):
+        value, its, converged = fixed_point(lambda r: r, 7)
+        assert converged and value == 7 and its == 1

@@ -1,0 +1,104 @@
+"""Unit tests for token-cycle analysis (eqs. (13)-(14))."""
+
+import pytest
+
+from repro.profibus import (
+    Master,
+    MessageStream,
+    Network,
+    PhyParameters,
+    longest_cycle,
+    longest_high_cycle,
+    tcycle,
+    tdel,
+    tdel_refined,
+    token_cycle_report,
+)
+
+
+def _net():
+    phy = PhyParameters()
+    m1 = Master(1, (
+        MessageStream("h1", T=100_000, C_bits=500),
+        MessageStream("l1", T=100_000, C_bits=2000, high_priority=False),
+    ))
+    m2 = Master(2, (MessageStream("h2", T=100_000, C_bits=700),))
+    m3 = Master(3, (
+        MessageStream("h3", T=100_000, C_bits=300),
+        MessageStream("l3", T=100_000, C_bits=900, high_priority=False),
+    ))
+    return Network(masters=(m1, m2, m3), phy=phy)
+
+
+class TestLongestCycles:
+    def test_cm_spans_both_priorities(self):
+        net = _net()
+        assert longest_cycle(net.masters[0], net.phy) == 2000
+        assert longest_cycle(net.masters[1], net.phy) == 700
+
+    def test_chm_high_only(self):
+        net = _net()
+        assert longest_high_cycle(net.masters[0], net.phy) == 500
+        assert longest_high_cycle(net.masters[2], net.phy) == 300
+
+    def test_empty_master_zero(self):
+        phy = PhyParameters()
+        assert longest_cycle(Master(9), phy) == 0
+        assert longest_high_cycle(Master(9), phy) == 0
+
+
+class TestTdel:
+    def test_eq13_sum_of_cm(self):
+        assert tdel(_net()) == 2000 + 700 + 900
+
+    def test_refined_single_overrunner(self):
+        # overrunner m1 (2000) + one high cycle each from m2 (700), m3 (300)
+        assert tdel_refined(_net()) == 2000 + 700 + 300
+
+    def test_refined_never_exceeds_aggregate(self):
+        from repro.gen import random_network
+
+        for seed in range(20):
+            net = random_network(n_masters=4, streams_per_master=3, seed=seed)
+            assert tdel_refined(net) <= tdel(net)
+
+    def test_refined_picks_best_overrunner(self):
+        phy = PhyParameters()
+        # m2's low cycle is the biggest single cycle
+        m1 = Master(1, (MessageStream("h1", T=10_000, C_bits=400),))
+        m2 = Master(2, (
+            MessageStream("h2", T=10_000, C_bits=100),
+            MessageStream("l2", T=10_000, C_bits=5000, high_priority=False),
+        ))
+        net = Network(masters=(m1, m2), phy=phy)
+        assert tdel_refined(net) == 5000 + 400
+
+
+class TestTcycle:
+    def test_eq14(self):
+        net = _net()
+        assert tcycle(net, ttr=10_000) == 10_000 + 3600
+
+    def test_refined_variant(self):
+        net = _net()
+        assert tcycle(net, ttr=10_000, refined=True) == 10_000 + 3000
+
+    def test_uses_network_ttr(self):
+        net = _net().with_ttr(8_000)
+        assert tcycle(net) == 8_000 + 3600
+
+    def test_ttr_below_ring_latency_rejected(self):
+        net = _net()
+        with pytest.raises(ValueError):
+            tcycle(net, ttr=net.ring_latency() - 1)
+
+
+class TestReport:
+    def test_breakdown_consistency(self):
+        net = _net().with_ttr(10_000)
+        rep = token_cycle_report(net)
+        assert rep.tcycle_aggregate == tcycle(net)
+        assert rep.tcycle_refined == tcycle(net, refined=True)
+        assert rep.per_master_cm["M1"] == 2000
+        assert rep.per_master_chm["M1"] == 500
+        assert rep.ring_latency == net.ring_latency()

@@ -1,0 +1,89 @@
+"""Tests for bus event tracing and the ASCII timeline."""
+
+import pytest
+
+from repro.sim import (
+    CYCLE_END,
+    CYCLE_START,
+    TOKEN_ARRIVAL,
+    BusEvent,
+    BusTrace,
+    TokenBusConfig,
+    render_timeline,
+    simulate_token_bus,
+)
+
+
+def _traced_run(net, horizon=200_000, policy="stock-fcfs"):
+    trace = BusTrace()
+    cfg = TokenBusConfig(policy=policy, tracer=trace)
+    result = simulate_token_bus(net, horizon, config=cfg)
+    return trace, result
+
+
+class TestTraceRecording:
+    def test_records_token_arrivals(self, single_master):
+        trace, result = _traced_run(single_master)
+        arrivals = trace.token_arrivals("M1")
+        assert len(arrivals) == result.masters["M1"].token_visits
+
+    def test_trr_values_match_stats(self, single_master):
+        trace, result = _traced_run(single_master)
+        trrs = [e.value for e in trace.token_arrivals("M1")][1:]  # skip first
+        assert max(trrs) == result.masters["M1"].max_trr
+
+    def test_cycles_paired(self, single_master):
+        trace, result = _traced_run(single_master)
+        cycles = trace.cycles("M1")
+        sent = result.masters["M1"].high_sent + result.masters["M1"].low_sent
+        # completed cycles traced as start/end pairs (an in-flight cycle
+        # at the horizon has no end event)
+        assert sent <= len(cycles) + 1
+        for start, end in cycles:
+            assert end.time - start.time == start.value
+
+    def test_stream_names_recorded(self, single_master):
+        trace, _ = _traced_run(single_master)
+        names = {e.stream for e in trace.of_kind(CYCLE_START)}
+        assert "s0" in names
+
+    def test_bounded_memory(self, single_master):
+        trace = BusTrace(max_events=10)
+        cfg = TokenBusConfig(tracer=trace)
+        simulate_token_bus(single_master, 500_000, config=cfg)
+        assert len(trace.events) == 10
+        assert trace.dropped > 0
+
+    def test_bus_utilisation_in_unit_interval(self, single_master):
+        trace, _ = _traced_run(single_master)
+        assert 0.0 <= trace.bus_utilisation() <= 1.0
+
+    def test_events_time_ordered(self, factory_cell):
+        trace, _ = _traced_run(factory_cell, horizon=300_000)
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+
+
+class TestTimeline:
+    def test_render_contains_masters_and_tokens(self, factory_cell):
+        trace, _ = _traced_run(factory_cell, horizon=100_000)
+        art = render_timeline(trace, 0, 60_000, width=80)
+        for m in factory_cell.masters:
+            assert m.name in art
+        assert "|" in art
+        assert "#" in art  # high-priority cycles visible
+
+    def test_empty_window(self, single_master):
+        trace, _ = _traced_run(single_master, horizon=50_000)
+        assert render_timeline(trace, 10**9, 10**9 + 5) == "(empty trace window)"
+
+    def test_low_priority_marker(self):
+        # build a trace manually with a low-priority cycle
+        trace = BusTrace()
+        trace.record(BusEvent(time=0, kind=TOKEN_ARRIVAL, master="M1"))
+        trace.record(BusEvent(time=10, kind=CYCLE_START, master="M1",
+                              stream="bulk", high_priority=False, value=50))
+        trace.record(BusEvent(time=60, kind=CYCLE_END, master="M1",
+                              stream="bulk", high_priority=False, value=50))
+        art = render_timeline(trace, 0, 100, width=50)
+        assert "." in art

@@ -1,0 +1,90 @@
+"""Unit tests for traffic generation."""
+
+import pytest
+
+from repro.sim.traffic import (
+    ReleasePattern,
+    TrafficConfig,
+    staggered_offsets,
+    synchronous_offsets,
+)
+
+
+class TestReleasePattern:
+    def test_plain_periodic(self):
+        p = ReleasePattern(period=10)
+        assert list(p.releases(35)) == [0, 10, 20, 30]
+
+    def test_offset(self):
+        p = ReleasePattern(period=10, offset=3)
+        assert list(p.releases(25)) == [3, 13, 23]
+
+    def test_horizon_inclusive(self):
+        p = ReleasePattern(period=10)
+        assert list(p.releases(20)) == [0, 10, 20]
+
+    def test_jitter_bounded_and_deterministic(self):
+        p = ReleasePattern(period=10, jitter=4, seed=42)
+        a = list(p.releases(200))
+        b = list(p.releases(200))
+        assert a == b  # deterministic
+        for k, t in enumerate(a):
+            assert 0 <= t - 10 * k <= 4
+
+    def test_adversarial_jitter_first_release_only(self):
+        p = ReleasePattern(period=10, jitter=4, adversarial=True)
+        rel = list(p.releases(45))
+        assert rel[0] == 4
+        assert rel[1:] == [10, 20, 30, 40]
+
+    def test_sporadic_minimum_separation(self):
+        p = ReleasePattern(period=10, mode="sporadic", seed=7)
+        rel = list(p.releases(500))
+        gaps = [b - a for a, b in zip(rel, rel[1:])]
+        assert all(g >= 10 for g in gaps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReleasePattern(period=0)
+        with pytest.raises(ValueError):
+            ReleasePattern(period=10, offset=-1)
+        with pytest.raises(ValueError):
+            ReleasePattern(period=10, mode="burst")
+
+
+class TestTrafficConfigs:
+    def test_synchronous_all_zero_offset(self, single_master):
+        cfg = synchronous_offsets(single_master)
+        for m in single_master.masters:
+            for s in m.streams:
+                p = cfg.pattern_for(m.name, s.name)
+                assert p.offset == 0
+                assert p.period == s.T
+
+    def test_synchronous_jitter_flag(self, single_master):
+        m = single_master.masters[0]
+        jittered = single_master.with_ttr(None)
+        cfg = synchronous_offsets(single_master, jitter=True)
+        for s in m.streams:
+            assert cfg.pattern_for(m.name, s.name).jitter == s.J
+
+    def test_staggered_within_period(self, factory_cell):
+        cfg = staggered_offsets(factory_cell, seed=3)
+        for m in factory_cell.masters:
+            for s in m.streams:
+                assert 0 <= cfg.pattern_for(m.name, s.name).offset < s.T
+
+    def test_staggered_deterministic(self, factory_cell):
+        a = staggered_offsets(factory_cell, seed=3)
+        b = staggered_offsets(factory_cell, seed=3)
+        for m in factory_cell.masters:
+            for s in m.streams:
+                assert (
+                    a.pattern_for(m.name, s.name).offset
+                    == b.pattern_for(m.name, s.name).offset
+                )
+
+    def test_missing_pattern_raises(self, single_master):
+        cfg = synchronous_offsets(single_master)
+        with pytest.raises(KeyError):
+            cfg.pattern_for("M1", "nope")

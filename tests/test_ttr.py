@@ -1,0 +1,82 @@
+"""Unit tests for TTR derivation (eq. (15) + binary-search generalisation)."""
+
+import pytest
+
+from repro.profibus import (
+    analyse,
+    fcfs_max_feasible_ttr,
+    max_feasible_ttr,
+    schedulable_with_ttr,
+    ttr_advantage,
+)
+
+
+class TestAnalyseDispatch:
+    def test_known_policies(self, single_master):
+        for pol in ("fcfs", "dm", "edf"):
+            res = analyse(single_master, pol)
+            assert res.policy == pol
+
+    def test_unknown_policy(self, single_master):
+        with pytest.raises(ValueError):
+            analyse(single_master, "lifo")
+
+
+class TestSchedulableWithTtr:
+    def test_below_ring_latency_false(self, single_master):
+        assert not schedulable_with_ttr(
+            single_master, "dm", single_master.ring_latency() - 1
+        )
+
+    def test_monotone_in_ttr(self, single_master):
+        # feasibility is monotone decreasing in TTR
+        feasible = [
+            schedulable_with_ttr(single_master, "dm", ttr)
+            for ttr in range(400, 4000, 200)
+        ]
+        # once it flips to False it stays False
+        seen_false = False
+        for f in feasible:
+            if not f:
+                seen_false = True
+            if seen_false:
+                assert not f
+
+
+class TestMaxFeasibleTtr:
+    def test_fcfs_uses_closed_form(self, single_master):
+        assert max_feasible_ttr(single_master, "fcfs") == fcfs_max_feasible_ttr(
+            single_master
+        )
+
+    def test_binary_search_is_maximal(self, single_master):
+        for pol in ("dm", "edf"):
+            best = max_feasible_ttr(single_master, pol)
+            assert best is not None
+            assert schedulable_with_ttr(single_master, pol, best)
+            assert not schedulable_with_ttr(single_master, pol, best + 1)
+
+    def test_none_when_infeasible_at_min(self, single_master):
+        # shrink deadlines to make even the minimum TTR infeasible
+        m = single_master.masters[0]
+        tight = single_master.with_ttr(None)
+        from repro.profibus import Master, Network
+
+        tight = Network(
+            masters=(m.with_streams(
+                [s.with_deadline(100) for s in m.streams]
+            ),),
+            phy=single_master.phy,
+        )
+        assert max_feasible_ttr(tight, "dm") is None
+
+    def test_priority_policies_beat_fcfs(self, single_master, factory_cell):
+        for net in (single_master, factory_cell):
+            adv = ttr_advantage(net)
+            fcfs = adv["fcfs"] or 0
+            assert adv["dm"] is not None and adv["dm"] > fcfs
+            assert adv["edf"] is not None and adv["edf"] >= adv["dm"]
+
+    def test_hi_cap_respected(self, single_master):
+        best = max_feasible_ttr(single_master, "dm", hi=600)
+        assert best == 600 or schedulable_with_ttr(single_master, "dm", best)

@@ -1,0 +1,95 @@
+"""Unit tests for the utilisation-based tests (§2.1, §2.2)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    density_test,
+    edf_utilization_test,
+    hyperbolic_test,
+    liu_layland_bound,
+    make_taskset,
+    rm_utilization_test,
+)
+
+
+class TestLiuLaylandBound:
+    def test_known_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(2 * (2 ** 0.5 - 1))
+        assert liu_layland_bound(3) == pytest.approx(3 * (2 ** (1 / 3) - 1))
+
+    def test_limit_is_ln2(self):
+        assert liu_layland_bound(10_000) == pytest.approx(math.log(2), abs=1e-4)
+
+    def test_decreasing_in_n(self):
+        values = [liu_layland_bound(n) for n in range(1, 20)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            liu_layland_bound(0)
+
+
+class TestRMUtilizationTest:
+    def test_accepts_low_utilization(self):
+        res = rm_utilization_test(make_taskset([(1, 10), (1, 10)]))
+        assert res.schedulable
+        assert res.utilization == pytest.approx(0.2)
+
+    def test_rejects_above_bound(self):
+        # U = 0.9 > 2(2^0.5-1) ≈ 0.828
+        res = rm_utilization_test(make_taskset([(9, 20), (9, 20)]))
+        assert not res.schedulable
+
+    def test_requires_implicit_deadlines(self):
+        with pytest.raises(ValueError):
+            rm_utilization_test(make_taskset([(1, 10, 5)]))
+
+    def test_result_is_truthy(self):
+        assert rm_utilization_test(make_taskset([(1, 10)]))
+
+
+class TestHyperbolicTest:
+    def test_dominates_liu_layland(self):
+        # A set accepted by LL must be accepted by the hyperbolic bound.
+        ts = make_taskset([(1, 4), (1, 8), (1, 16)])
+        assert rm_utilization_test(ts).schedulable
+        assert hyperbolic_test(ts).schedulable
+
+    def test_accepts_harmonic_full_utilization(self):
+        # Two tasks with U1=U2 such that (U1+1)(U2+1) <= 2 but U > LL bound
+        # U1 = U2 = sqrt(2) - 1 ≈ 0.4142 -> product exactly 2
+        ts = make_taskset([(414, 1000), (414, 1000)])
+        assert hyperbolic_test(ts).schedulable
+        assert rm_utilization_test(ts).schedulable  # boundary: 0.828 <= 0.828...
+
+    def test_rejects_overload(self):
+        assert not hyperbolic_test(make_taskset([(3, 4), (3, 4)])).schedulable
+
+    def test_requires_implicit_deadlines(self):
+        with pytest.raises(ValueError):
+            hyperbolic_test(make_taskset([(1, 10, 5)]))
+
+
+class TestEDFUtilization:
+    def test_exact_boundary(self):
+        assert edf_utilization_test(make_taskset([(1, 2), (1, 2)])).schedulable
+        assert not edf_utilization_test(
+            make_taskset([(1, 2), (1, 2), (1, 100)])
+        ).schedulable
+
+    def test_bound_field(self):
+        res = edf_utilization_test(make_taskset([(1, 4)]))
+        assert res.bound == 1.0
+        assert res.test == "edf-utilization"
+
+
+class TestDensityTest:
+    def test_constrained_deadlines(self):
+        # C/min(D,T): 2/4 + 1/4 = 0.75 <= 1
+        assert density_test(make_taskset([(2, 10, 4), (1, 8, 4)])).schedulable
+
+    def test_rejects_dense_set(self):
+        assert not density_test(make_taskset([(3, 10, 4), (2, 8, 4)])).schedulable

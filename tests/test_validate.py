@@ -1,0 +1,70 @@
+"""Tests for the analysis-vs-simulation validation harness (E4/E6 core)."""
+
+import pytest
+
+from repro.core import nonpreemptive_rta, preemptive_rta
+from repro.sim import validate_network, validate_uniproc
+from repro.sim.token import TokenBusConfig
+from repro.sim.traffic import staggered_offsets, synchronous_offsets
+
+
+class TestValidateNetwork:
+    @pytest.mark.parametrize("policy", ["fcfs", "dm", "edf"])
+    def test_factory_cell_sound(self, factory_cell, policy):
+        rep = validate_network(factory_cell, policy, horizon=2_000_000)
+        assert rep.all_sound
+        assert rep.worst_tightness is None or rep.worst_tightness <= 1.0
+
+    @pytest.mark.parametrize("policy", ["fcfs", "dm", "edf"])
+    def test_single_master_sound(self, single_master, policy):
+        rep = validate_network(single_master, policy, horizon=2_000_000)
+        assert rep.all_sound
+
+    def test_staggered_traffic_sound(self, factory_cell):
+        rep = validate_network(
+            factory_cell, "dm", horizon=2_000_000,
+            traffic=staggered_offsets(factory_cell, seed=5),
+        )
+        assert rep.all_sound
+
+    def test_rows_carry_counts(self, single_master):
+        rep = validate_network(single_master, "fcfs", horizon=1_000_000)
+        for row in rep.rows:
+            assert row.completed > 0
+            assert row.bound is not None
+
+    def test_detail_fields(self, single_master):
+        rep = validate_network(single_master, "edf", horizon=500_000)
+        assert rep.detail["policy"] == "edf"
+        assert rep.detail["max_trr_observed"] <= rep.detail["tcycle_bound"]
+
+    def test_row_lookup(self, single_master):
+        rep = validate_network(single_master, "fcfs", horizon=500_000)
+        assert rep.row("M1/s0").name == "M1/s0"
+        with pytest.raises(KeyError):
+            rep.row("nope")
+
+
+class TestValidateUniproc:
+    def test_preemptive_bounds_hold(self, basic_dm_taskset):
+        analysis = preemptive_rta(basic_dm_taskset)
+        bounds = {rt.task.name: rt.value for rt in analysis.per_task}
+        rep = validate_uniproc(basic_dm_taskset, bounds, horizon=300)
+        assert rep.all_sound
+        # synchronous release is tight for preemptive FP
+        assert rep.worst_tightness == pytest.approx(1.0)
+
+    def test_nonpreemptive_bounds_hold(self, basic_dm_taskset):
+        analysis = nonpreemptive_rta(basic_dm_taskset)
+        bounds = {rt.task.name: rt.value for rt in analysis.per_task}
+        rep = validate_uniproc(
+            basic_dm_taskset, bounds, horizon=300, preemptive=False
+        )
+        assert rep.all_sound
+
+    def test_none_bound_is_vacuously_sound(self, basic_dm_taskset):
+        rep = validate_uniproc(
+            basic_dm_taskset, {"t0": None, "t1": None, "t2": None}, horizon=100
+        )
+        assert rep.all_sound
+        assert rep.worst_tightness is None
