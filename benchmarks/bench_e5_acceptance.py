@@ -12,37 +12,23 @@ messages with more tight deadlines", quantified.
 import pytest
 
 from conftest import print_table
-from repro.gen import random_network
-from repro.profibus import analyse, tdel
+from repro.perf.batch import acceptance_curve
 
 N_PER_POINT = 12
 TIGHTNESS = (1.0, 0.5, 0.3, 0.2, 0.12, 0.07)
 
 
 def _acceptance(d_over_t_max: float):
-    counts = {"fcfs": 0, "dm": 0, "edf": 0}
-    for seed in range(N_PER_POINT):
-        net = random_network(
-            n_masters=3,
-            streams_per_master=3,
-            seed=seed * 31 + int(d_over_t_max * 1000),
-            d_over_t=(d_over_t_max * 0.6, d_over_t_max),
-            payload_range=(2, 16),
-            period_ms=(50.0, 1000.0),
-        )
-        net = net.with_ttr(max(net.ring_latency(), tdel(net) // 2))
-        for policy in counts:
-            if analyse(net, policy).schedulable:
-                counts[policy] += 1
-    return counts
+    return acceptance_curve(
+        (d_over_t_max,), N_PER_POINT, workers=1
+    )[d_over_t_max]
 
 
 def test_e5_acceptance_ratio(benchmark):
     rows = []
-    raw = {}
+    raw = acceptance_curve(TIGHTNESS, N_PER_POINT, workers=1)
     for tight in TIGHTNESS:
-        counts = _acceptance(tight)
-        raw[tight] = counts
+        counts = raw[tight]
         rows.append((
             tight,
             f"{counts['fcfs'] / N_PER_POINT:.2f}",

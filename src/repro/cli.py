@@ -131,15 +131,15 @@ def _cmd_sweep(args) -> int:
     net = _load_network(args)
     if args.param == "ttr":
         values = range(args.start, args.stop + 1, args.step)
-        rows = ttr_sweep(net, values)
+        rows = ttr_sweep(net, values, workers=args.workers)
     elif args.param == "deadline-scale":
         n = max(2, (args.stop - args.start) // max(1, args.step) + 1)
         factors = [args.start / 100.0 + i * args.step / 100.0
                    for i in range(n)
                    if args.start + i * args.step <= args.stop]
-        rows = deadline_scale_sweep(net, factors)
+        rows = deadline_scale_sweep(net, factors, workers=args.workers)
     elif args.param == "baud":
-        rows = baud_sweep(net)
+        rows = baud_sweep(net, workers=args.workers)
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown sweep parameter {args.param!r}")
     print(rows_to_csv(rows), end="")
@@ -182,6 +182,26 @@ def _cmd_bandwidth(args) -> int:
               f"low budget {rep.low_budget_per_rotation:.0f} bits/rotation  "
               f"= {rep.low_fraction * 100:.1f}% of bus time")
     return 0
+
+
+def _cmd_bench(args) -> int:
+    from .perf.bench import format_report, run_benchmark, write_benchmark
+
+    if args.networks < 1:
+        raise SystemExit("bench: --networks must be >= 1")
+    report = run_benchmark(
+        n_networks=args.networks,
+        workers=args.workers,
+        seed=args.seed,
+        rounds=args.rounds,
+        check=not args.no_check,
+    )
+    for line in format_report(report):
+        print(line)
+    path = write_benchmark(report, args.out)
+    print(f"wrote {path}")
+    # Non-zero only on an actual mismatch (None = check skipped).
+    return 1 if report["consistent"] is False else 0
 
 
 def _cmd_export(args) -> int:
@@ -256,7 +276,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "deadline-scale)")
     p.add_argument("--stop", type=int, default=8000)
     p.add_argument("--step", type=int, default=500)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size for the sweep grid "
+                        "(default: serial)")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "bench",
+        help="batch-analysis throughput benchmark -> BENCH_batch.json",
+    )
+    p.add_argument("--networks", type=int, default=500,
+                   help="number of random networks in the workload")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: cpu count)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--rounds", type=int, default=3,
+                   help="timed repetitions per mode (best is reported)")
+    p.add_argument("--out", default="BENCH_batch.json",
+                   help="output JSON path")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip the fast/generic result-equality check")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("trace", help="simulate and render an ASCII bus timeline")
     add_common(p)

@@ -62,16 +62,34 @@ class Task:
 
     @property
     def utilization(self) -> float:
-        """``C / T`` as a float."""
-        return float(self.C) / float(self.T)
+        """``C / T`` as a float (memoised; tasks are immutable)."""
+        try:
+            return self._utilization
+        except AttributeError:
+            u = float(self.C) / float(self.T)
+            object.__setattr__(self, "_utilization", u)
+            return u
 
     @property
     def density(self) -> float:
         """``C / min(D, T)`` as a float."""
         return float(self.C) / float(min(self.D, self.T))
 
+    def __getstate__(self):
+        # Memoised derivations (leading underscore) stay local to the
+        # process: some caches are keyed by object identity and would be
+        # stale — or worse, colliding — after unpickling in a worker.
+        return {k: v for k, v in self.__dict__.items()
+                if not k.startswith("_")}
+
     def with_priority(self, priority: int) -> "Task":
-        return replace(self, priority=priority)
+        # Hot in priority assignment over generated workloads: a direct
+        # field copy skips re-running __init__/__post_init__ validation
+        # on values that are unchanged and already validated.
+        new = object.__new__(Task)
+        new.__dict__.update(self.__dict__)
+        new.__dict__["priority"] = priority
+        return new
 
     def with_jitter(self, J: Number) -> "Task":
         return replace(self, J=J)
@@ -92,6 +110,14 @@ class TaskSet:
         names = [t.name for t in self._tasks if t.name]
         if len(names) != len(set(names)):
             raise ValueError("duplicate task names in TaskSet")
+        # Tasks are immutable, so per-set invariants (priority views,
+        # utilisation, the all-int flag) are computed once and memoised.
+        self._cache: dict = {}
+
+    def __getstate__(self):
+        # The cache holds identity-keyed structures; rebuild fresh after
+        # unpickling (e.g. in a batch worker process).
+        return {"_tasks": self._tasks, "_cache": {}}
 
     # -- container protocol -------------------------------------------------
     def __iter__(self) -> Iterator[Task]:
@@ -117,7 +143,27 @@ class TaskSet:
     @property
     def utilization(self) -> float:
         """Total utilisation ``ΣCᵢ/Tᵢ``."""
-        return sum(t.utilization for t in self._tasks)
+        u = self._cache.get("utilization")
+        if u is None:
+            u = sum(t.utilization for t in self._tasks)
+            self._cache["utilization"] = u
+        return u
+
+    @property
+    def all_int(self) -> bool:
+        """True when every task's ``(C, T, D, J)`` is a plain ``int`` —
+        the precondition for the :mod:`repro.perf.kernels` fast paths."""
+        flag = self._cache.get("all_int")
+        if flag is None:
+            flag = all(
+                type(t.C) is int
+                and type(t.T) is int
+                and type(t.D) is int
+                and type(t.J) is int
+                for t in self._tasks
+            )
+            self._cache["all_int"] = flag
+        return flag
 
     @property
     def density(self) -> float:
@@ -147,14 +193,42 @@ class TaskSet:
                 "task set has unassigned priorities; run a priority assignment first"
             )
 
+    def _prio_views(self, task: Task) -> Optional[Tuple[List[Task], List[Task]]]:
+        """Memoised ``(hp, lp)`` views for a *member* task (by identity).
+
+        ``None`` for a task that is not a member — those keep the
+        uncached path so the identity-based semantics stay exact.
+        """
+        views = self._cache.get("prio_views")
+        if views is None:
+            views = {
+                id(t): (
+                    [u for u in self._tasks if u is not t and u.priority < t.priority],
+                    [u for u in self._tasks if u is not t and u.priority > t.priority],
+                )
+                for t in self._tasks
+            }
+            self._cache["prio_views"] = views
+        return views.get(id(task))
+
     def hp(self, task: Task) -> List[Task]:
-        """Tasks with strictly higher priority than ``task`` (lower number)."""
+        """Tasks with strictly higher priority than ``task`` (lower number).
+
+        Returns a fresh list (callers may mutate it); the memoised view
+        behind it is shared.
+        """
         self._require_priorities()
+        views = self._prio_views(task)
+        if views is not None:
+            return list(views[0])
         return [t for t in self._tasks if t is not task and t.priority < task.priority]
 
     def lp(self, task: Task) -> List[Task]:
-        """Tasks with strictly lower priority than ``task``."""
+        """Tasks with strictly lower priority than ``task`` (fresh list)."""
         self._require_priorities()
+        views = self._prio_views(task)
+        if views is not None:
+            return list(views[1])
         return [t for t in self._tasks if t is not task and t.priority > task.priority]
 
     def sorted_by_priority(self) -> "TaskSet":

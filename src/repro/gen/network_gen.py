@@ -49,17 +49,23 @@ def random_network(
     d_over_t: Tuple[float, float] = (0.25, 1.0),
     low_priority_streams: int = 1,
     payload_range: Tuple[int, int] = (4, 32),
+    rng: Optional[random.Random] = None,
 ) -> Network:
     """A random network (TTR left unset; derive it per policy).
 
     Periods are drawn in milliseconds and converted to bit times at the
     PHY baud rate, so scenarios stay physically meaningful across baud
     rates.
+
+    ``rng`` threads an explicit generator end-to-end (``seed`` is then
+    ignored) so batch drivers can draw reproducible per-worker workloads
+    without touching global ``random`` state.
     """
     if n_masters < 1 or streams_per_master < 1:
         raise ValueError("need at least one master and one stream")
     phy = phy or PhyParameters()
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     bits_per_ms = phy.baud_rate / 1000.0
     t_range = (
         max(1, int(period_ms[0] * bits_per_ms)),

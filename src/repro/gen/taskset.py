@@ -36,6 +36,7 @@ def random_taskset(
     t_max: int = 10_000,
     deadline_beta: Optional[float] = None,
     jitter_frac: float = 0.0,
+    rng: Optional[random.Random] = None,
 ) -> TaskSet:
     """A random integer task set with utilisation ≈ ``total_u``.
 
@@ -44,10 +45,15 @@ def random_taskset(
     release jitter up to that fraction of the period.  Execution times
     are rounded *down* (min 1) so the realised utilisation never exceeds
     the requested one by more than the rounding-up of tiny C's.
+
+    ``rng`` threads an explicit generator (``seed`` is then ignored) so
+    batch drivers can draw reproducible per-worker workloads without
+    touching global ``random`` state.
     """
     if n <= 0:
         raise ValueError("n must be positive")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     utils = uunifast_discard(n, total_u, rng)
     tasks: List[Task] = []
     for i, u in enumerate(utils):

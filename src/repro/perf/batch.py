@@ -1,0 +1,270 @@
+"""Embarrassingly-parallel batch analysis drivers.
+
+The design-space exploration layers — sweeps, acceptance curves, the E5
+benchmark — all evaluate ``analyse(network, policy)`` over large
+(network × policy) grids with no cross-row dependencies.  This module
+gives that layer one engine:
+
+* :func:`analyse_many` — evaluate a grid, serial or over a process pool
+  with chunking (a chunk amortises pickling and lets the per-master /
+  per-set memo caches warm up inside each worker);
+* :func:`generate_networks` — reproducible workload generation threading
+  one :class:`random.Random` end-to-end (no global ``random`` state);
+* :func:`acceptance_curve` — the E5 experiment (fraction of random
+  networks schedulable per policy per deadline-tightness level) on top
+  of both.
+
+Workers inherit the caller's fast-path setting, so the benchmark driver
+can time the generic exact path through the same machinery.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..gen.network_gen import random_network
+from ..profibus.network import Network, stream_specs
+from ..profibus.timing import tcycle as compute_tcycle
+from ..profibus.timing import tdel
+from ..profibus.ttr import analyse
+from . import kernels
+from .config import fast_path_enabled, set_fast_path
+from .stats import counters
+
+DEFAULT_POLICIES: Tuple[str, ...] = ("fcfs", "dm", "edf")
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """One (network, policy) analysis outcome, flattened for transport."""
+
+    index: int  # position of the network in the submitted sequence
+    policy: str
+    schedulable: bool
+    worst_response: Optional[int]
+    worst_slack: Optional[int]
+    tcycle: int
+
+
+def _fold_responses(index, policy, tcycle, pairs) -> BatchResult:
+    """Fold ``(response, deadline)`` pairs into one BatchResult — the
+    single definition of schedulable / worst_response / worst_slack used
+    by both the kernel summary and the full-analysis path (so the
+    bench's fast/generic consistency check compares real work, not two
+    folds that could drift apart)."""
+    schedulable = True
+    worst_r: Optional[int] = None
+    worst_slack: Optional[int] = None
+    for r, d in pairs:
+        if r is None:
+            schedulable = False
+            continue
+        if r > d:
+            schedulable = False
+        if worst_r is None or r > worst_r:
+            worst_r = r
+        slack = d - r
+        if worst_slack is None or slack < worst_slack:
+            worst_slack = slack
+    return BatchResult(
+        index=index,
+        policy=policy,
+        schedulable=schedulable,
+        worst_response=worst_r,
+        worst_slack=worst_slack if schedulable else None,
+        tcycle=tcycle,
+    )
+
+
+def _fast_summary(index: int, network: Network,
+                  policy: str) -> Optional[BatchResult]:
+    """BatchResult fields straight from the whole-master kernels, without
+    materialising StreamResponse / NetworkAnalysis rows.
+
+    Returns ``None`` when a master has non-int stream attributes (the
+    caller falls back to the full analysis path).  Field-for-field
+    identical to summarising ``analyse(network, policy)`` — the deadline
+    used for slack/schedulability is the same stream ``D`` the specs
+    carry, and the per-stream responses come from the same kernels the
+    analysis modules use (property-tested in ``tests/test_perf_batch``).
+    """
+    tc = compute_tcycle(network, network.require_ttr(), refined=False)
+    if type(tc) is not int:
+        return None
+    pairs = []
+    for master in network.masters:
+        specs = stream_specs(master)
+        if specs is None:
+            return None
+        if not specs:
+            continue
+        if policy == "fcfs":
+            r = len(specs) * tc
+            values = [r] * len(specs)
+        elif policy == "dm":
+            values = kernels.dm_master_response_times(specs, tc)
+        elif policy == "edf":
+            values = [
+                r for r, _a in kernels.edf_master_response_times(specs, tc)
+            ]
+        else:
+            return None
+        pairs.extend((r, d) for (_t, d, _j), r in zip(specs, values))
+    return _fold_responses(index, policy, tc, pairs)
+
+
+def _analyse_one(index: int, network: Network, policy: str) -> BatchResult:
+    if fast_path_enabled():
+        summary = _fast_summary(index, network, policy)
+        if summary is not None:
+            return summary
+    res = analyse(network, policy)
+    return _fold_responses(
+        index, policy, res.tcycle,
+        ((sr.R, sr.stream.D) for sr in res.per_stream),
+    )
+
+
+def _run_chunk(
+    payload: Tuple[List[Tuple[int, Network]], Sequence[str], bool]
+) -> Tuple[List[BatchResult], int]:
+    """Worker entry: analyse one chunk, return rows + iteration count."""
+    jobs, policies, fast = payload
+    set_fast_path(fast)
+    counters.reset()
+    rows = [
+        _analyse_one(index, network, policy)
+        for index, network in jobs
+        for policy in policies
+    ]
+    return rows, counters.fast + counters.generic
+
+
+def analyse_many(
+    networks: Sequence[Network],
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[BatchResult]:
+    """Analyse every (network, policy) pair.
+
+    ``workers=None`` uses ``os.cpu_count()``; ``workers<=1`` (or a grid
+    too small to amortise a pool) runs serial in-process.  Results come
+    back ordered by (network index, policy position) regardless of the
+    execution mode.  Every network must carry a TTR at or above its ring
+    latency — pre-filter rows that do not (as the sweep drivers do).
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    jobs = list(enumerate(networks))
+    if workers <= 1 or len(jobs) < 2 * workers:
+        return [
+            _analyse_one(index, network, policy)
+            for index, network in jobs
+            for policy in policies
+        ]
+
+    if chunksize is None:
+        # ~4 chunks per worker balances scheduling slack vs. pickling.
+        chunksize = max(1, len(jobs) // (workers * 4))
+    chunks = [
+        (jobs[i:i + chunksize], tuple(policies), fast_path_enabled())
+        for i in range(0, len(jobs), chunksize)
+    ]
+    rows: List[BatchResult] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for chunk_rows, iterations in pool.map(_run_chunk, chunks):
+            rows.extend(chunk_rows)
+            # Fold worker iteration counts into this process's tally so
+            # the bench sees one total either way.
+            if fast_path_enabled():
+                counters.fast += iterations
+            else:
+                counters.generic += iterations
+    return rows
+
+
+def generate_networks(
+    n: int,
+    seed: int = 0,
+    n_masters: int = 3,
+    streams_per_master: int = 3,
+    d_over_t: Tuple[float, float] = (0.15, 1.0),
+    period_ms: Tuple[float, float] = (50.0, 1000.0),
+    payload_range: Tuple[int, int] = (2, 16),
+    ttr_fraction_of_tdel: float = 0.5,
+) -> List[Network]:
+    """``n`` reproducible random networks with a minimal-headroom TTR.
+
+    One :class:`random.Random` threads through every draw, so the
+    workload is a pure function of ``seed`` — equal seeds give
+    value-equal networks (fresh instances each call: the instance-keyed
+    analysis memos never leak between repetitions).
+    """
+    rng = Random(seed)
+    nets = []
+    for _ in range(n):
+        net = random_network(
+            n_masters=n_masters,
+            streams_per_master=streams_per_master,
+            d_over_t=d_over_t,
+            period_ms=period_ms,
+            payload_range=payload_range,
+            rng=rng,
+        )
+        ttr = max(net.ring_latency(), int(tdel(net) * ttr_fraction_of_tdel))
+        nets.append(net.with_ttr(ttr))
+    return nets
+
+
+def acceptance_curve(
+    tightness: Sequence[float],
+    n_per_point: int,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    workers: Optional[int] = None,
+    seed: int = 0,
+    n_masters: int = 3,
+    streams_per_master: int = 3,
+    period_ms: Tuple[float, float] = (50.0, 1000.0),
+    payload_range: Tuple[int, int] = (2, 16),
+) -> Dict[float, Dict[str, int]]:
+    """The E5 curve: schedulable counts per policy per tightness level.
+
+    Deadlines are drawn in ``[0.6·x·T, x·T]`` at tightness ``x``; the
+    per-point seed mixes ``seed`` so points are independent but
+    reproducible.  All (level × network × policy) rows go through one
+    :func:`analyse_many` call, so the pool is filled once.
+    """
+    nets: List[Network] = []
+    spans: List[Tuple[float, int]] = []
+    for x in tightness:
+        batch = generate_networks(
+            n_per_point,
+            seed=seed * 1_000_003 + int(x * 1000),
+            n_masters=n_masters,
+            streams_per_master=streams_per_master,
+            d_over_t=(x * 0.6, x),
+            period_ms=period_ms,
+            payload_range=payload_range,
+        )
+        spans.append((x, len(nets)))
+        nets.extend(batch)
+
+    rows = analyse_many(nets, policies, workers=workers)
+    by_index: Dict[int, Dict[str, bool]] = {}
+    for row in rows:
+        by_index.setdefault(row.index, {})[row.policy] = row.schedulable
+
+    curve: Dict[float, Dict[str, int]] = {}
+    for (x, start) in spans:
+        counts = {p: 0 for p in policies}
+        for i in range(start, start + n_per_point):
+            for p in policies:
+                if by_index[i][p]:
+                    counts[p] += 1
+        curve[x] = counts
+    return curve

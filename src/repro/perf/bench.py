@@ -1,0 +1,210 @@
+"""Throughput benchmark driver — the ``repro-cli bench`` backend.
+
+Measures the same workload three ways on one machine:
+
+* ``generic_serial`` — the exact generic path (fast kernels disabled),
+  the baseline every speedup is quoted against;
+* ``fast_serial`` — integer kernels + interference caching, one process;
+* ``fast_parallel`` — the same through :func:`repro.perf.batch
+  .analyse_many` with a process pool (skipped when only one worker is
+  requested — it would measure pool overhead, not parallelism).
+
+Workloads are regenerated (same seed → value-equal, fresh instances)
+for every timed run, so the instance-keyed analysis memos never carry
+results across modes or rounds; generation time is excluded from every
+measurement.  Results go to a machine-readable ``BENCH_*.json``
+artefact (schema documented in PERF.md) so perf trajectories can be
+compared across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .batch import DEFAULT_POLICIES, BatchResult, analyse_many, generate_networks
+from .config import fast_path_disabled
+from .stats import counters
+
+SCHEMA = "profibus-rt/bench-batch/v1"
+
+#: Deadline-tightness levels cycled across the generated networks so the
+#: workload spans the easy/marginal/infeasible regimes like the E5 curve.
+TIGHTNESS_CYCLE = (1.0, 0.5, 0.3, 0.2, 0.12)
+
+
+def _workload(n_networks: int, seed: int):
+    """The bench workload: ``n`` networks cycling through the tightness
+    levels, minimal-headroom TTR, reproducible from ``seed``."""
+    per_level = -(-n_networks // len(TIGHTNESS_CYCLE))
+    nets = []
+    for li, x in enumerate(TIGHTNESS_CYCLE):
+        nets.extend(
+            generate_networks(
+                per_level,
+                seed=seed * 7_654_321 + li,
+                d_over_t=(x * 0.6, x),
+            )
+        )
+    return nets[:n_networks]
+
+
+class _ModeRun:
+    """Best-of-rounds timings for one mode."""
+
+    __slots__ = ("wall", "cpu", "iterations", "rows")
+
+    def __init__(self) -> None:
+        self.wall = float("inf")
+        self.cpu = float("inf")
+        self.iterations = 0
+        self.rows: List[BatchResult] = []
+
+    def observe(self, wall: float, cpu: float, iterations: int,
+                rows: List[BatchResult]) -> None:
+        if wall < self.wall:
+            self.wall = wall
+        if cpu < self.cpu:
+            self.cpu = cpu
+            self.iterations = iterations
+            self.rows = rows
+
+
+def _run_once(n_networks: int, seed: int, policies: Sequence[str],
+              workers: int, fast: bool, into: _ModeRun) -> None:
+    nets = _workload(n_networks, seed)  # fresh instances, cold memos
+    counters.reset()
+    if fast:
+        w0, c0 = time.perf_counter(), time.process_time()
+        rows = analyse_many(nets, policies, workers=workers)
+        wall, cpu = time.perf_counter() - w0, time.process_time() - c0
+    else:
+        with fast_path_disabled():
+            w0, c0 = time.perf_counter(), time.process_time()
+            rows = analyse_many(nets, policies, workers=workers)
+            wall, cpu = time.perf_counter() - w0, time.process_time() - c0
+    into.observe(wall, cpu, counters.fast + counters.generic, rows)
+
+
+def run_benchmark(
+    n_networks: int = 500,
+    workers: Optional[int] = None,
+    seed: int = 0,
+    rounds: int = 3,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    check: bool = True,
+) -> dict:
+    """Run the modes and assemble the ``BENCH_batch.json`` payload.
+
+    Rounds are interleaved across modes so transient machine load hits
+    every mode equally; the per-mode best is reported.  ``cpu_seconds``
+    (process CPU time) drives the speedup ratios — on a multi-tenant
+    machine wall clock charges one mode for another tenant's burst.
+    For the parallel mode CPU time is meaningless in the parent (the
+    work happens in children), so its ratios use wall time.
+    """
+    if n_networks < 1:
+        raise ValueError("bench needs at least one network")
+    if workers is None:
+        workers = os.cpu_count() or 1
+    n_analyses = n_networks * len(policies)
+
+    generic = _ModeRun()
+    fast = _ModeRun()
+    parallel = _ModeRun() if workers > 1 else None
+    for _ in range(max(1, rounds)):
+        _run_once(n_networks, seed, policies, 1, False, generic)
+        _run_once(n_networks, seed, policies, 1, True, fast)
+        if parallel is not None:
+            _run_once(n_networks, seed, policies, workers, True, parallel)
+
+    consistent: Optional[bool] = None  # None = equality check skipped
+    if check:
+        consistent = generic.rows == fast.rows
+        if parallel is not None:
+            consistent = consistent and parallel.rows == fast.rows
+
+    def _mode(run: _ModeRun, base: Optional[_ModeRun], wall_ratio: bool):
+        out = {
+            "seconds": run.wall,
+            "cpu_seconds": run.cpu,
+            "analyses_per_sec": n_analyses / run.wall,
+            "analyses_per_cpu_sec": n_analyses / run.cpu,
+            "iterations": run.iterations,
+        }
+        if base is not None:
+            if wall_ratio:
+                out["speedup_vs_generic"] = base.wall / run.wall
+            else:
+                out["speedup_vs_generic"] = base.cpu / run.cpu
+        return out
+
+    modes: Dict[str, dict] = {
+        "generic_serial": _mode(generic, None, False),
+        "fast_serial": _mode(fast, generic, False),
+    }
+    if parallel is not None:
+        modes["fast_parallel"] = dict(
+            _mode(parallel, generic, True), workers=workers
+        )
+    else:
+        # One worker: the parallel driver degenerates to the serial one.
+        modes["fast_parallel"] = dict(modes["fast_serial"], workers=1)
+
+    schedulable = sum(1 for r in fast.rows if r.schedulable)
+    return {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "platform": sys.platform,
+        },
+        "workload": {
+            "networks": n_networks,
+            "policies": list(policies),
+            "analyses": n_analyses,
+            "seed": seed,
+            "rounds": rounds,
+            "tightness_cycle": list(TIGHTNESS_CYCLE),
+            "schedulable_rows": schedulable,
+        },
+        "modes": modes,
+        "consistent": consistent,
+    }
+
+
+def write_benchmark(report: dict, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def format_report(report: dict) -> List[str]:
+    """Human-readable summary lines for the CLI."""
+    wl = report["workload"]
+    lines = [
+        f"bench: {wl['networks']} networks × {len(wl['policies'])} policies "
+        f"= {wl['analyses']} analyses (best of {wl['rounds']} rounds, "
+        f"seed {wl['seed']})",
+    ]
+    for name, mode in report["modes"].items():
+        speed = mode["analyses_per_sec"]
+        extra = ""
+        if "speedup_vs_generic" in mode:
+            extra = f"  ({mode['speedup_vs_generic']:.2f}x vs generic)"
+        if "workers" in mode:
+            extra += f"  [workers={mode['workers']}]"
+        lines.append(
+            f"  {name:<15} {speed:>10.0f} analyses/s  "
+            f"{mode['iterations']:>9} iterations{extra}"
+        )
+    consistent = report["consistent"]
+    verdict = ("not checked" if consistent is None
+               else "ok" if consistent else "MISMATCH")
+    lines.append(f"fast/generic result agreement: {verdict}")
+    return lines

@@ -1,0 +1,45 @@
+"""Global fast-path switch.
+
+The integer kernels of :mod:`repro.perf.kernels` produce bit-identical
+results to the generic exact path, so they are **on by default**.  The
+switch exists for two consumers:
+
+* the benchmark driver, which measures the generic path as its baseline
+  on the same workload (``repro-cli bench``);
+* the property tests, which assert fast/generic equality by running both
+  paths on identical inputs.
+
+Setting the environment variable ``REPRO_DISABLE_FASTPATH`` (to any
+non-empty value) disables the fast paths process-wide — handy for
+bisecting a suspected fast-path discrepancy without touching code.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_enabled: bool = not os.environ.get("REPRO_DISABLE_FASTPATH")
+
+
+def fast_path_enabled() -> bool:
+    """Are the specialised integer kernels active?"""
+    return _enabled
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Enable/disable the fast paths; returns the previous setting."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def fast_path_disabled():
+    """Run a block on the generic exact path (baseline measurement)."""
+    previous = set_fast_path(False)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)

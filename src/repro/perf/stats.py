@@ -1,0 +1,35 @@
+"""Fixed-point iteration accounting.
+
+Both drivers — the generic :func:`repro.core.timeops.fixed_point` and the
+integer kernels — add their iteration counts here at *call* granularity
+(one integer add per solved recursion, nothing per step), so the bench
+can report how many iterations each path actually executed for the same
+workload.  The split shows where the seed jump pays off: the fast path
+solves the same fixed points in fewer steps.
+"""
+
+from __future__ import annotations
+
+
+class IterationCounters:
+    """Process-wide iteration tallies, separated by driver."""
+
+    __slots__ = ("generic", "fast")
+
+    def __init__(self) -> None:
+        self.generic = 0
+        self.fast = 0
+
+    def reset(self) -> "IterationCounters":
+        self.generic = 0
+        self.fast = 0
+        return self
+
+    def snapshot(self) -> dict:
+        return {"generic": self.generic, "fast": self.fast,
+                "total": self.generic + self.fast}
+
+
+#: The process-wide tally (workers report theirs back through the batch
+#: driver's chunk results).
+counters = IterationCounters()

@@ -32,18 +32,36 @@ def fcfs_analysis(
     network: Network, ttr: Optional[int] = None, refined: bool = False
 ) -> NetworkAnalysis:
     """Eq. (11)/(12) for every high-priority stream of the network."""
+    from ..perf.config import fast_path_enabled
+    from .network import master_memo
+
     if ttr is None:
         ttr = network.require_ttr()
     tc = compute_tcycle(network, ttr, refined=refined)
     per_stream = []
+    fast = fast_path_enabled()
+    phy = network.phy
     for master in network.masters:
-        nh = master.nh
-        for s in master.high_streams:
-            r = nh * tc
-            q = r - s.cycle_bits(network.phy)
-            per_stream.append(
-                StreamResponse(master=master.name, stream=s, R=r, Q=q)
-            )
+        rows = None
+        if fast:
+            # Single slot per master (bounded under TTR sweeps); the
+            # identity check on the PHY avoids hashing it.
+            memo = master_memo(master)
+            entry = memo.get("fcfs_rows")
+            if entry is not None and entry[0] == tc and entry[1] is phy:
+                rows = entry[2]
+        if rows is None:
+            nh = master.nh
+            rows = [
+                StreamResponse(
+                    master=master.name, stream=s, R=nh * tc,
+                    Q=nh * tc - s.cycle_bits(phy),
+                )
+                for s in master.high_streams
+            ]
+            if fast:
+                memo["fcfs_rows"] = (tc, phy, rows)
+        per_stream.extend(rows)
     return NetworkAnalysis(
         policy="fcfs",
         ttr=ttr,

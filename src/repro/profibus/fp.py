@@ -140,7 +140,8 @@ def stack_depth_analysis(
         ttr = network.require_ttr()
     tc = compute_tcycle(network, ttr, refined=refined)
     per_stream: List[StreamResponse] = []
-    from ..core.timeops import fixed_point, floor_div
+    from ..core.timeops import fixed_point, fixed_point_int, floor_div
+    from ..perf.config import fast_path_enabled
 
     for master in network.masters:
         streams = master.high_streams
@@ -162,7 +163,12 @@ def stack_depth_analysis(
                 return total
 
             limit = 64 * (task.D + task.J) + (depth + 1) * tc
-            value, _its, converged = fixed_point(step, step(0), limit=limit)
+            driver = (
+                fixed_point_int
+                if fast_path_enabled() and base.all_int and type(tc) is int
+                else fixed_point
+            )
+            value, _its, converged = driver(step, step(0), limit=limit)
             r = value + tc + task.J if converged else None
             per_stream.append(
                 StreamResponse(

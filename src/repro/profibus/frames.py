@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 from .phy import char_time_bits
 
@@ -94,11 +95,16 @@ TOKEN_FRAME = Frame(FrameType.SD4)
 SHORT_ACK = Frame(FrameType.SC)
 
 
+@lru_cache(maxsize=None)
 def frame_for_payload(payload: int) -> Frame:
     """Smallest legal telegram for ``payload`` data bytes.
 
     0 bytes → SD1; exactly 8 → SD3 (14 chars beats SD2's 17); anything
     else up to :data:`SD2_MAX_PAYLOAD` → SD2.
+
+    Cached: frames are immutable and the payload domain is 0..246, so
+    sweeping thousands of generated networks reuses a few hundred
+    instances instead of re-validating per stream.
     """
     if payload == 0:
         return Frame(FrameType.SD1)

@@ -37,13 +37,29 @@ class Master:
         if not self.name:
             object.__setattr__(self, "name", f"M{self.address}")
 
+    def __getstate__(self):
+        # Memoised derivations (leading underscore) are process-local:
+        # the analysis memo can hold identity-keyed caches.
+        return {k: v for k, v in self.__dict__.items()
+                if not k.startswith("_")}
+
     @property
     def high_streams(self) -> Tuple[MessageStream, ...]:
-        return tuple(s for s in self.streams if s.high_priority)
+        try:
+            return self._high_streams
+        except AttributeError:
+            high = tuple(s for s in self.streams if s.high_priority)
+            object.__setattr__(self, "_high_streams", high)
+            return high
 
     @property
     def low_streams(self) -> Tuple[MessageStream, ...]:
-        return tuple(s for s in self.streams if not s.high_priority)
+        try:
+            return self._low_streams
+        except AttributeError:
+            low = tuple(s for s in self.streams if not s.high_priority)
+            object.__setattr__(self, "_low_streams", low)
+            return low
 
     @property
     def nh(self) -> int:
@@ -58,6 +74,43 @@ class Master:
 
     def with_streams(self, streams: Iterable[MessageStream]) -> "Master":
         return replace(self, streams=tuple(streams))
+
+
+def master_memo(master: Master) -> dict:
+    """Per-master instance memo for derived analysis artefacts.
+
+    Masters are immutable (frozen dataclasses), so staged task sets,
+    longest-cycle figures and analysis rows are cached on the instance
+    itself, keyed by the remaining analysis inputs (``Tcycle``, PHY).
+    Instance-keyed (not value-keyed) on purpose: sweeps re-analyse the
+    *same* master objects thousands of times, while benchmark baselines
+    on freshly generated but value-equal networks must not get
+    accidental hits.  Dropped on pickling (see ``__getstate__``);
+    worker processes rebuild locally.
+    """
+    try:
+        return master._analysis_memo
+    except AttributeError:
+        memo: dict = {}
+        object.__setattr__(master, "_analysis_memo", memo)
+        return memo
+
+
+def stream_specs(master: Master) -> Optional[tuple]:
+    """``(T, D, J)`` per high-priority stream when all are plain ints —
+    the whole-master kernel input (see :mod:`repro.perf.kernels`) —
+    else ``None``.  Memoised on the master."""
+    memo = master_memo(master)
+    specs = memo.get("specs", False)
+    if specs is False:
+        specs = tuple((s.T, s.D, s.J) for s in master.high_streams)
+        if not all(
+            type(t) is int and type(d) is int and type(j) is int
+            for t, d, j in specs
+        ):
+            specs = None
+        memo["specs"] = specs
+    return specs
 
 
 @dataclass(frozen=True)
@@ -102,6 +155,10 @@ class Network:
         if self.ttr is not None and self.ttr <= 0:
             raise ValueError("ttr must be positive")
 
+    def __getstate__(self):
+        return {k: v for k, v in self.__dict__.items()
+                if not k.startswith("_")}
+
     # -- lookups ---------------------------------------------------------
     @property
     def n_masters(self) -> int:
@@ -131,9 +188,15 @@ class Network:
 
         The analyses require ``TTR`` to be at least this (otherwise the
         token is *structurally* late every rotation and the late-token
-        rule throttles every master to one message per visit).
+        rule throttles every master to one message per visit).  Memoised:
+        the network is immutable and sweeps query this per row.
         """
-        return self.n_masters * token_pass_time(self.phy)
+        try:
+            return self._ring_latency
+        except AttributeError:
+            latency = self.n_masters * token_pass_time(self.phy)
+            object.__setattr__(self, "_ring_latency", latency)
+            return latency
 
     def with_ttr(self, ttr: int) -> "Network":
         return replace(self, ttr=ttr)

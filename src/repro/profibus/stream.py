@@ -18,6 +18,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..core.task import Task
+from ..perf.config import fast_path_enabled
 from .cycle import MessageCycleSpec, cycle_time
 from .phy import PhyParameters
 
@@ -48,11 +49,32 @@ class MessageStream:
         if self.C_bits is not None and self.C_bits <= 0:
             raise ValueError(f"stream {self.name!r}: C_bits must be > 0")
 
+    def __getstate__(self):
+        # Keep memoised derivations (leading underscore) out of pickles;
+        # workers rebuild them locally.
+        return {k: v for k, v in self.__dict__.items()
+                if not k.startswith("_")}
+
     def cycle_bits(self, phy: PhyParameters) -> int:
-        """Worst-case message-cycle length ``Ch`` in bit times."""
+        """Worst-case message-cycle length ``Ch`` in bit times.
+
+        Memoised per PHY parameter set: streams are immutable and the
+        sweep/batch drivers evaluate the same stream against the same
+        PHY thousands of times.
+        """
         if self.C_bits is not None:
             return self.C_bits
-        return cycle_time(self.spec, phy)
+        if not fast_path_enabled():
+            return cycle_time(self.spec, phy)
+        # Single-slot identity cache: a stream is evaluated against one
+        # PHY in practice, and identity comparison avoids hashing the
+        # parameter set on every lookup.
+        memo = getattr(self, "_cycle_memo", None)
+        if memo is not None and memo[0] is phy:
+            return memo[1]
+        bits = cycle_time(self.spec, phy)
+        object.__setattr__(self, "_cycle_memo", (phy, bits))
+        return bits
 
     def as_task(self, phy: PhyParameters) -> Task:
         """View this stream as a core :class:`~repro.core.task.Task`
@@ -62,8 +84,20 @@ class MessageStream:
         )
 
     def as_token_task(self, tcycle: int) -> Task:
-        """The §4.3 substitution: ``C → Tcycle`` (eqs. (16)–(18))."""
-        return Task(C=tcycle, T=self.T, D=self.D, J=self.J, name=self.name)
+        """The §4.3 substitution: ``C → Tcycle`` (eqs. (16)–(18)).
+
+        Built by direct field assignment — the stream's attributes are
+        already validated and this runs once per stream per sweep row;
+        only the one input the stream does not own is checked.
+        """
+        if tcycle <= 0:
+            raise ValueError(f"stream {self.name!r}: Tcycle must be > 0")
+        task = object.__new__(Task)
+        task.__dict__.update(
+            C=tcycle, T=self.T, D=self.D, J=self.J, priority=None,
+            name=self.name,
+        )
+        return task
 
     def with_jitter(self, J: int) -> "MessageStream":
         return replace(self, J=J)

@@ -13,6 +13,12 @@ each:
   (bit-time parameters are baud-invariant, deadlines in seconds are
   not, so this shows the minimum line speed for a plant).
 
+All three build their (network, policy) grid up front and evaluate it
+through :func:`repro.perf.batch.analyse_many` — pass ``workers=N`` to
+spread a large sweep over a process pool; the default stays serial
+in-process.  Static per-network work (ring latency, the scaled-network
+construction) is hoisted out of the row loops.
+
 Rows are plain dataclasses; :func:`rows_to_csv` renders any of them for
 spreadsheet handoff.  Used by the CLI ``sweep`` subcommand.
 """
@@ -22,12 +28,12 @@ from __future__ import annotations
 import dataclasses
 import io
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
+from ..perf.batch import BatchResult, analyse_many
 from .network import Master, Network
 from .phy import STANDARD_BAUD_RATES, PhyParameters
 from .stream import MessageStream
-from .ttr import analyse
 
 DEFAULT_POLICIES = ("fcfs", "dm", "edf")
 
@@ -45,38 +51,58 @@ class SweepRow:
     tcycle: int
 
 
-def _analyse_row(net: Network, policy: str, parameter: str,
-                 value: float) -> SweepRow:
-    res = analyse(net, policy)
-    slacks = [sr.slack for sr in res.per_stream if sr.slack is not None]
-    return SweepRow(
-        parameter=parameter,
-        value=value,
-        policy=policy,
-        schedulable=res.schedulable,
-        worst_response=res.worst_response,
-        worst_slack=min(slacks) if slacks and res.schedulable else None,
-        tcycle=res.tcycle,
-    )
+def _grid_rows(
+    parameter: str,
+    entries: Sequence[Tuple[float, Optional[Network]]],
+    policies: Sequence[str],
+    workers: Optional[int],
+) -> List[SweepRow]:
+    """Evaluate ``(value, network)`` entries × policies through the batch
+    driver; ``network=None`` marks a structurally infeasible value
+    (below ring latency) reported unschedulable without analysis."""
+    jobs = [net for _, net in entries if net is not None]
+    results = analyse_many(jobs, policies, workers=workers) if jobs else []
+    by_key = {(r.index, r.policy): r for r in results}
+    rows: List[SweepRow] = []
+    job_index = 0
+    for value, net in entries:
+        if net is None:
+            for policy in policies:
+                rows.append(
+                    SweepRow(parameter, value, policy, False, None, None, 0)
+                )
+            continue
+        for policy in policies:
+            b: BatchResult = by_key[(job_index, policy)]
+            rows.append(
+                SweepRow(
+                    parameter=parameter,
+                    value=value,
+                    policy=policy,
+                    schedulable=b.schedulable,
+                    worst_response=b.worst_response,
+                    worst_slack=b.worst_slack,
+                    tcycle=b.tcycle,
+                )
+            )
+        job_index += 1
+    return rows
 
 
 def ttr_sweep(
     network: Network,
     ttr_values: Iterable[int],
     policies: Sequence[str] = DEFAULT_POLICIES,
+    workers: Optional[int] = 1,
 ) -> List[SweepRow]:
     """Analyse the network at each TTR (values below the ring latency
     are reported unschedulable rather than raising)."""
-    rows = []
-    for ttr in ttr_values:
-        for policy in policies:
-            if ttr < network.ring_latency():
-                rows.append(SweepRow("ttr", ttr, policy, False, None, None, 0))
-                continue
-            rows.append(
-                _analyse_row(network.with_ttr(int(ttr)), policy, "ttr", ttr)
-            )
-    return rows
+    ring = network.ring_latency()
+    entries = [
+        (ttr, network.with_ttr(int(ttr)) if ttr >= ring else None)
+        for ttr in ttr_values
+    ]
+    return _grid_rows("ttr", entries, policies, workers)
 
 
 def _scale_deadlines(network: Network, factor: float) -> Network:
@@ -95,22 +121,54 @@ def deadline_scale_sweep(
     network: Network,
     factors: Iterable[float],
     policies: Sequence[str] = DEFAULT_POLICIES,
+    workers: Optional[int] = 1,
 ) -> List[SweepRow]:
     """Scale every deadline by each factor (clamped to ``[1, T]``)."""
-    rows = []
+    factors = list(factors)
     for factor in factors:
         if factor <= 0:
             raise ValueError("deadline factors must be positive")
-        scaled = _scale_deadlines(network, factor)
-        for policy in policies:
-            rows.append(_analyse_row(scaled, policy, "deadline_scale", factor))
-    return rows
+    entries = [
+        (factor, _scale_deadlines(network, factor)) for factor in factors
+    ]
+    return _grid_rows("deadline_scale", entries, policies, workers)
+
+
+def _rescale_network(network: Network, baud: int) -> Network:
+    """One scaled-network construction per baud rate, shared by every
+    policy row: wall-clock periods/deadlines/TTR are rescaled so their
+    duration in seconds is preserved at the new line speed."""
+    scale = baud / network.phy.baud_rate
+
+    def rescale(v: int) -> int:
+        return max(1, int(round(v * scale)))
+
+    masters = []
+    for m in network.masters:
+        streams = [
+            dataclasses.replace(
+                s,
+                T=rescale(s.T),
+                D=rescale(s.D),
+                J=int(round(s.J * scale)),
+            )
+            for s in m.streams
+        ]
+        masters.append(m.with_streams(streams))
+    phy = dataclasses.replace(network.phy, baud_rate=baud)
+    return Network(
+        masters=tuple(masters),
+        slaves=network.slaves,
+        phy=phy,
+        ttr=max(1, rescale(network.require_ttr())),
+    )
 
 
 def baud_sweep(
     network: Network,
     baud_rates: Iterable[int] = STANDARD_BAUD_RATES,
     policies: Sequence[str] = DEFAULT_POLICIES,
+    workers: Optional[int] = 1,
 ) -> List[SweepRow]:
     """Re-evaluate the network at each baud rate.
 
@@ -119,40 +177,11 @@ def baud_sweep(
     seconds while the frame/timer bit counts stay fixed — exactly what
     changing the line speed of a real plant does.
     """
-    base_baud = network.phy.baud_rate
-    rows = []
+    entries = []
     for baud in baud_rates:
-        scale = baud / base_baud
-
-        def rescale(v: int) -> int:
-            return max(1, int(round(v * scale)))
-
-        masters = []
-        for m in network.masters:
-            streams = [
-                dataclasses.replace(
-                    s,
-                    T=rescale(s.T),
-                    D=rescale(s.D),
-                    J=int(round(s.J * scale)),
-                )
-                for s in m.streams
-            ]
-            masters.append(m.with_streams(streams))
-        phy = dataclasses.replace(network.phy, baud_rate=baud)
-        net = Network(
-            masters=tuple(masters),
-            slaves=network.slaves,
-            phy=phy,
-            ttr=max(1, rescale(network.require_ttr())),
-        )
-        if net.ttr < net.ring_latency():
-            for policy in policies:
-                rows.append(SweepRow("baud", baud, policy, False, None, None, 0))
-            continue
-        for policy in policies:
-            rows.append(_analyse_row(net, policy, "baud", baud))
-    return rows
+        net = _rescale_network(network, baud)
+        entries.append((baud, net if net.ttr >= net.ring_latency() else None))
+    return _grid_rows("baud", entries, policies, workers)
 
 
 def rows_to_csv(rows: Sequence[SweepRow]) -> str:

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 #: Default event priorities: releases are processed before MAC decisions
@@ -26,14 +25,14 @@ PRIO_RELEASE = 0
 PRIO_MAC = 1
 PRIO_STATS = 2
 
-
-@dataclass(order=True)
-class _Entry:
-    time: Any
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+# Calendar entries are plain lists ``[time, priority, seq, callback,
+# cancelled]``: the heap orders them by element-wise comparison, and the
+# unique ``seq`` guarantees the comparison never reaches the callback.
+# This replaces an ``@dataclass(order=True)`` record whose generated
+# ``__lt__`` built a key tuple per comparison — a measurable share of
+# DES runtime on large calendars.  The mutable tail carries the
+# cancellation flag.
+_TIME, _PRIORITY, _SEQ, _CALLBACK, _CANCELLED = range(5)
 
 
 class EventHandle:
@@ -41,26 +40,26 @@ class EventHandle:
 
     __slots__ = ("_entry",)
 
-    def __init__(self, entry: _Entry):
+    def __init__(self, entry: list):
         self._entry = entry
 
     def cancel(self) -> None:
-        self._entry.cancelled = True
+        self._entry[_CANCELLED] = True
 
     @property
     def cancelled(self) -> bool:
-        return self._entry.cancelled
+        return self._entry[_CANCELLED]
 
     @property
     def time(self):
-        return self._entry.time
+        return self._entry[_TIME]
 
 
 class Simulator:
     """Event calendar + clock."""
 
     def __init__(self) -> None:
-        self._heap: List[_Entry] = []
+        self._heap: List[list] = []
         self._seq = itertools.count()
         self.now: Any = 0
         self._events_fired = 0
@@ -80,7 +79,7 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule into the past: {time!r} < now={self.now!r}"
             )
-        entry = _Entry(time, priority, next(self._seq), callback)
+        entry = [time, priority, next(self._seq), callback, False]
         heapq.heappush(self._heap, entry)
         return EventHandle(entry)
 
@@ -91,19 +90,21 @@ class Simulator:
 
     def peek_time(self) -> Optional[Any]:
         """Timestamp of the next live event, or None when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][_CANCELLED]:
+            heapq.heappop(heap)
+        return heap[0][_TIME] if heap else None
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the calendar is empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[_CANCELLED]:
                 continue
-            self.now = entry.time
+            self.now = entry[_TIME]
             self._events_fired += 1
-            entry.callback()
+            entry[_CALLBACK]()
             return True
         return False
 

@@ -1,0 +1,181 @@
+"""Batch drivers, benchmark driver and the parallel sweep plumbing."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.gen import random_network
+from repro.perf.batch import (
+    BatchResult,
+    acceptance_curve,
+    analyse_many,
+    generate_networks,
+)
+from repro.perf.bench import SCHEMA, format_report, run_benchmark, write_benchmark
+from repro.perf.config import fast_path_disabled
+from repro.profibus import analyse, tdel
+
+
+def small_workload(n=10, seed=3):
+    return generate_networks(n, seed=seed, d_over_t=(0.2, 0.9))
+
+
+class TestAnalyseMany:
+    def test_matches_per_call_analysis(self):
+        nets = small_workload()
+        rows = analyse_many(nets, workers=1)
+        assert len(rows) == len(nets) * 3
+        for row in rows:
+            res = analyse(nets[row.index], row.policy)
+            assert row.schedulable == res.schedulable
+            assert row.worst_response == res.worst_response
+            assert row.tcycle == res.tcycle
+            slacks = [
+                sr.slack for sr in res.per_stream if sr.slack is not None
+            ]
+            expected = min(slacks) if slacks and res.schedulable else None
+            assert row.worst_slack == expected
+
+    def test_fast_and_generic_rows_identical(self):
+        fast_rows = analyse_many(small_workload(), workers=1)
+        with fast_path_disabled():
+            generic_rows = analyse_many(small_workload(), workers=1)
+        assert fast_rows == generic_rows
+
+    def test_row_order_is_stable(self):
+        rows = analyse_many(small_workload(n=4), workers=1)
+        assert [(r.index, r.policy) for r in rows] == [
+            (i, p) for i in range(4) for p in ("fcfs", "dm", "edf")
+        ]
+
+    def test_parallel_matches_serial(self):
+        nets = small_workload(n=8)
+        serial = analyse_many(nets, workers=1)
+        parallel = analyse_many(small_workload(n=8), workers=2, chunksize=2)
+        assert serial == parallel
+
+    def test_parallel_generic_matches_serial(self):
+        with fast_path_disabled():
+            serial = analyse_many(small_workload(n=8), workers=1)
+            parallel = analyse_many(
+                small_workload(n=8), workers=2, chunksize=2
+            )
+        assert serial == parallel
+
+    def test_custom_policies(self):
+        rows = analyse_many(small_workload(n=3), policies=("dm",), workers=1)
+        assert {r.policy for r in rows} == {"dm"}
+
+
+class TestGenerateNetworks:
+    def test_reproducible(self):
+        a = generate_networks(5, seed=11)
+        b = generate_networks(5, seed=11)
+        assert a == b
+        assert a is not b
+
+    def test_seed_changes_workload(self):
+        assert generate_networks(5, seed=1) != generate_networks(5, seed=2)
+
+    def test_ttr_at_least_ring_latency(self):
+        for net in generate_networks(10, seed=5):
+            assert net.ttr >= net.ring_latency()
+
+    def test_networks_pickle_without_identity_caches(self):
+        net = generate_networks(1, seed=9)[0]
+        analyse(net, "dm")  # populate instance memos
+        clone = pickle.loads(pickle.dumps(net))
+        assert clone == net
+        for master in clone.masters:
+            assert not hasattr(master, "_analysis_memo")
+        # and the clone analyses to the same verdicts
+        a, b = analyse(net, "edf"), analyse(clone, "edf")
+        assert [sr.R for sr in a.per_stream] == [sr.R for sr in b.per_stream]
+
+
+class TestAcceptanceCurve:
+    def test_counts_and_dominance(self):
+        curve = acceptance_curve((1.0, 0.2), 6, workers=1, seed=4)
+        assert set(curve) == {1.0, 0.2}
+        for counts in curve.values():
+            for policy, count in counts.items():
+                assert 0 <= count <= 6
+            # eq. (16)/(17) dominate eq. (11) pointwise
+            assert counts["dm"] >= counts["fcfs"]
+            assert counts["edf"] >= counts["fcfs"]
+
+    def test_deterministic(self):
+        assert acceptance_curve((0.5,), 5, seed=7) == acceptance_curve(
+            (0.5,), 5, seed=7
+        )
+
+
+class TestBenchmark:
+    def test_report_schema_and_consistency(self, tmp_path):
+        report = run_benchmark(n_networks=10, workers=1, rounds=1, seed=2)
+        assert report["schema"] == SCHEMA
+        assert report["consistent"] is True
+        assert report["workload"]["analyses"] == 30
+        for mode in ("generic_serial", "fast_serial", "fast_parallel"):
+            entry = report["modes"][mode]
+            assert entry["analyses_per_sec"] > 0
+            assert entry["iterations"] > 0
+        assert report["modes"]["fast_serial"]["speedup_vs_generic"] > 0
+        out = tmp_path / "BENCH_batch.json"
+        write_benchmark(report, str(out))
+        loaded = json.loads(out.read_text())
+        assert loaded["schema"] == SCHEMA
+        lines = format_report(report)
+        assert any("fast_serial" in line for line in lines)
+
+    def test_cli_bench_writes_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_batch.json"
+        rc = main([
+            "bench", "--networks", "8", "--rounds", "1", "--workers", "1",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+        data = json.loads(out.read_text())
+        assert data["schema"] == SCHEMA
+        assert "fast_serial" in data["modes"]
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSweepWorkers:
+    def test_ttr_sweep_parallel_matches_serial(self):
+        from repro.profibus.sweep import ttr_sweep
+
+        net = random_network(n_masters=2, streams_per_master=3, seed=21)
+        net = net.with_ttr(max(net.ring_latency(), tdel(net)))
+        values = [
+            net.ring_latency() // 2,  # below ring latency: marker row
+            net.ring_latency() + 500,
+            net.ring_latency() + 3000,
+        ]
+        serial = ttr_sweep(net, values, workers=1)
+        parallel = ttr_sweep(net, values, workers=2)
+        assert serial == parallel
+        assert [r.schedulable for r in serial[:3]] == [False] * 3
+
+
+class TestRngThreading:
+    def test_random_network_rng_param(self):
+        import random as _random
+
+        rng = _random.Random(99)
+        a = random_network(seed=12345, rng=rng)  # seed ignored with rng
+        b = random_network(rng=_random.Random(99))
+        assert a == b
+
+    def test_random_taskset_rng_param(self):
+        import random as _random
+
+        from repro.gen import random_taskset
+
+        a = random_taskset(4, 0.7, rng=_random.Random(5))
+        b = random_taskset(4, 0.7, seed=5)
+        assert a == b
