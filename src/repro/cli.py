@@ -6,6 +6,7 @@ Subcommands::
     profibus-rt ttr      --scenario factory-cell
     profibus-rt simulate --scenario factory-cell --policy edf --horizon-ms 4000
     profibus-rt report   --scenario factory-cell
+    profibus-rt fuzz     --budget 200 --seed 0
 
 ``analyse`` prints per-stream worst-case response times (eqs. 11/16/17);
 ``ttr`` prints the maximum feasible TTR per policy (eq. 15 +
@@ -90,11 +91,11 @@ def _cmd_simulate(args) -> int:
     report = validate_network(net, args.policy, horizon)
     print(f"scenario={args.scenario} policy={args.policy} "
           f"horizon={args.horizon_ms} ms  (events={report.detail['events']})")
-    print(f"{'stream':<28}{'bound':>10}{'observed':>10}{'jobs':>7}  sound")
+    print(f"{'stream':<28}{'bound':>10}{'observed':>10}{'jobs':>10}  verdict")
     for row in report.rows:
+        jobs = f"{row.completed}/{row.released}"
         print(f"{row.name:<28}{row.bound if row.bound is not None else '∞':>10}"
-              f"{row.observed:>10}{row.completed:>7}  "
-              f"{'yes' if row.sound else 'NO'}")
+              f"{row.effective_observed:>10}{jobs:>10}  {row.verdict}")
     print(f"max TRR observed: {report.detail['max_trr_observed']} "
           f"(Tcycle bound {report.detail['tcycle_bound']})")
     print(f"all bounds sound: {report.all_sound}")
@@ -204,6 +205,40 @@ def _cmd_bench(args) -> int:
     return 1 if report["consistent"] is False else 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import CampaignConfig, FAMILIES, run_campaign, write_report
+
+    families = tuple(args.families) if args.families else tuple(FAMILIES)
+    config = CampaignConfig(
+        budget=args.budget,
+        seed=args.seed,
+        families=families,
+        workers=args.workers,
+        horizon_cap=args.horizon_cap,
+        max_counterexamples=args.max_counterexamples,
+        shrink=not args.no_shrink,
+    )
+    result = run_campaign(config)
+    print(f"fuzz: {result.instances} instances, seed {config.seed}, "
+          f"{len(config.families)} families "
+          f"({result.elapsed_seconds:.1f}s)")
+    for name, row in result.oracle_stats.items():
+        line = f"  {name:<20} checked={row['checked']} failed={row['failed']}"
+        if row["skipped"]:
+            line += f" skipped={row['skipped']}"
+        print(line)
+    for ce in result.counterexamples:
+        masters = len(ce.shrunk.masters)
+        streams = sum(len(m.streams) for m in ce.shrunk.masters)
+        print(f"  COUNTEREXAMPLE [{ce.oracle}] {ce.family}#{ce.index}: "
+              f"{ce.detail}")
+        print(f"    shrunk to {masters} master(s) / {streams} stream(s): "
+              f"{ce.shrunk_detail}")
+    path = write_report(result, args.out)
+    print(f"wrote {path}")
+    return 0 if result.ok else 1
+
+
 def _cmd_export(args) -> int:
     from .profibus.serialization import save_network
 
@@ -297,6 +332,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-check", action="store_true",
                    help="skip the fast/generic result-equality check")
     p.set_defaults(func=_cmd_bench)
+
+    from .fuzz.families import FAMILIES
+
+    def positive_int(value: str) -> int:
+        n = int(value)
+        if n < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return n
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential soundness-fuzzing campaign -> FUZZ_report.json",
+    )
+    p.add_argument("--budget", type=positive_int, default=200,
+                   help="number of random network instances")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (instances are a pure function of "
+                        "seed, family, index)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size for the batched "
+                        "kernel-equivalence sweep (default: serial)")
+    p.add_argument("--families", nargs="*", default=None, metavar="FAMILY",
+                   choices=sorted(FAMILIES),
+                   help="restrict to these network families "
+                        f"(default: all; choices: {', '.join(sorted(FAMILIES))})")
+    p.add_argument("--horizon-cap", type=int, default=3_000_000,
+                   help="skip the soundness simulation when the needed "
+                        "horizon exceeds this many bit times")
+    p.add_argument("--max-counterexamples", type=positive_int, default=10,
+                   help="stop collecting/shrinking after this many failures")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report raw counterexamples without minimisation")
+    p.add_argument("--out", default="FUZZ_report.json",
+                   help="output JSON path")
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("trace", help="simulate and render an ASCII bus timeline")
     add_common(p)

@@ -1,0 +1,75 @@
+"""Differential soundness fuzzing.
+
+The paper's central claim is *soundness*: the eq. (11)/(16)/(17)
+response-time bounds must dominate anything the token bus actually
+does.  This subpackage adversarially tests that claim — and the
+invariants the surrounding tooling relies on — by generating diverse
+random network families at scale and cross-checking independent oracles
+on every instance:
+
+* analysis vs token-bus simulation (non-completing messages count
+  *against* the bound);
+* generic exact fixed-point path vs the ``repro.perf`` integer kernels
+  (bit-equality);
+* scenario JSON round-trip identity;
+* the sweep layer vs an independent restatement of its scaling
+  contract.
+
+Any failure is shrunk to a locally-minimal network before being
+reported in ``FUZZ_report.json`` (schema in PERF.md).  Front end:
+``repro-cli fuzz --budget 200 --seed 0``.
+"""
+
+from .campaign import (
+    ORACLE_KERNEL,
+    ORACLE_ROUNDTRIP,
+    ORACLE_SOUNDNESS,
+    ORACLE_SWEEP,
+    ORACLES,
+    CampaignConfig,
+    CampaignResult,
+    CounterExample,
+    run_campaign,
+)
+from .families import FAMILIES, family_rng, generate_instance
+from .oracles import (
+    OracleOutcome,
+    check_kernel_equivalence,
+    check_roundtrip,
+    check_soundness,
+    check_sweep_scaling,
+    reference_scaled_deadlines,
+)
+from .report import (
+    FUZZ_SCHEMA,
+    report_to_dict,
+    validate_report_dict,
+    write_report,
+)
+from .shrink import shrink_network
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "CounterExample",
+    "FAMILIES",
+    "FUZZ_SCHEMA",
+    "ORACLES",
+    "ORACLE_KERNEL",
+    "ORACLE_ROUNDTRIP",
+    "ORACLE_SOUNDNESS",
+    "ORACLE_SWEEP",
+    "OracleOutcome",
+    "check_kernel_equivalence",
+    "check_roundtrip",
+    "check_soundness",
+    "check_sweep_scaling",
+    "family_rng",
+    "generate_instance",
+    "reference_scaled_deadlines",
+    "report_to_dict",
+    "run_campaign",
+    "shrink_network",
+    "validate_report_dict",
+    "write_report",
+]

@@ -1,0 +1,275 @@
+"""The differential-fuzzing campaign engine.
+
+A campaign is a pure function of ``(seed, budget, families, policies)``:
+
+1. generate ``budget`` networks, cycling the requested families, each a
+   pure function of ``(seed, family, index)``;
+2. run the **kernel-equivalence oracle at scale**: the whole
+   (network × policy) grid goes through :func:`repro.perf.batch.analyse_many`
+   twice — fast paths on, then the generic exact path — optionally over
+   the process pool (``workers=N``), and the two row lists must be
+   bit-identical;
+3. per instance, run the **round-trip**, **sweep-scaling** (with a
+   seeded scale factor) and **token-bus soundness** oracles (soundness
+   rotates through the policies so a budget-``n`` campaign simulates
+   ``n`` networks, not ``3n``);
+4. shrink each failure to a locally-minimal network that still fails
+   the same oracle, and package everything as a
+   :class:`CampaignResult` for ``FUZZ_report.json``.
+
+The CLI front end is ``repro-cli fuzz`` (see :mod:`repro.cli`); the
+report schema is documented in PERF.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..perf.batch import analyse_many
+from ..perf.config import set_fast_path
+from ..profibus.network import Network
+from .families import FAMILIES, family_rng, generate_instance
+from .oracles import (
+    DEFAULT_POLICIES,
+    STATUS_FAIL,
+    STATUS_SKIPPED,
+    OracleOutcome,
+    check_kernel_equivalence,
+    check_roundtrip,
+    check_soundness,
+    check_sweep_scaling,
+)
+from .shrink import shrink_network
+
+ORACLE_SOUNDNESS = "soundness"
+ORACLE_KERNEL = "kernel_equivalence"
+ORACLE_ROUNDTRIP = "roundtrip"
+ORACLE_SWEEP = "sweep_scaling"
+ORACLES = (ORACLE_SOUNDNESS, ORACLE_KERNEL, ORACLE_ROUNDTRIP, ORACLE_SWEEP)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    budget: int = 200
+    seed: int = 0
+    families: Tuple[str, ...] = tuple(FAMILIES)
+    policies: Tuple[str, ...] = DEFAULT_POLICIES
+    #: process-pool size for the batched kernel-equivalence sweep
+    #: (``None`` = cpu count, ``1`` = serial in-process)
+    workers: Optional[int] = 1
+    #: skip the soundness simulation when the required horizon exceeds
+    #: this many bit times (counted as ``skipped`` in the report)
+    horizon_cap: int = 3_000_000
+    max_counterexamples: int = 10
+    shrink: bool = True
+    shrink_evals: int = 250
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+        if self.max_counterexamples < 1:
+            raise ValueError("max_counterexamples must be >= 1")
+        if not self.families:
+            raise ValueError("need at least one family")
+        unknown = set(self.families) - set(FAMILIES)
+        if unknown:
+            raise ValueError(
+                f"unknown families {sorted(unknown)}; pick from {sorted(FAMILIES)}"
+            )
+
+
+@dataclass(frozen=True)
+class CounterExample:
+    """One oracle failure, with its shrunk reproduction."""
+
+    oracle: str
+    family: str
+    index: int
+    seed: int
+    policy: Optional[str]
+    factor: Optional[float]
+    detail: str
+    network: Network
+    shrunk: Network
+    shrunk_detail: str
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    config: CampaignConfig
+    instances: int
+    family_counts: Dict[str, int]
+    #: oracle name → {"checked": n, "failed": n, "skipped": n}
+    oracle_stats: Dict[str, Dict[str, int]]
+    counterexamples: List[CounterExample]
+    elapsed_seconds: float
+
+    @property
+    def total_failed(self) -> int:
+        return sum(row["failed"] for row in self.oracle_stats.values())
+
+    @property
+    def ok(self) -> bool:
+        """True iff no oracle failed — derived from the failure
+        *counters*, not the counterexample list, which is truncated to
+        ``max_counterexamples`` and must not mask extra failures."""
+        return self.total_failed == 0
+
+
+@dataclass
+class _Failure:
+    oracle: str
+    family: str
+    index: int
+    policy: Optional[str]
+    factor: Optional[float]
+    detail: str
+    network: Network
+    predicate: Callable[[Network], bool]
+
+
+def _sweep_factor(seed: int, family: str, index: int) -> float:
+    """Seeded per-instance deadline-scale factor, biased toward the
+    fine-grid regime where rounding vs truncation differ."""
+    return round(family_rng(seed, family, index, salt="sweep")
+                 .uniform(0.25, 1.75), 3)
+
+
+def _batch_rows(networks: Sequence[Network], policies: Sequence[str],
+                workers: Optional[int], fast: bool):
+    previous = set_fast_path(fast)
+    try:
+        return analyse_many(networks, policies, workers=workers)
+    finally:
+        set_fast_path(previous)
+
+
+def run_campaign(config: CampaignConfig = CampaignConfig()) -> CampaignResult:
+    start = time.perf_counter()
+    instances: List[Tuple[str, int, Network]] = []
+    family_counts: Dict[str, int] = {f: 0 for f in config.families}
+    for i in range(config.budget):
+        family = config.families[i % len(config.families)]
+        instances.append((family, i, generate_instance(config.seed, family, i)))
+        family_counts[family] += 1
+
+    stats = {
+        name: {"checked": 0, "failed": 0, "skipped": 0} for name in ORACLES
+    }
+    failures: List[_Failure] = []
+
+    def record(oracle: str, outcome: OracleOutcome, family: str, index: int,
+               network: Network, predicate: Callable[[Network], bool],
+               policy: Optional[str] = None,
+               factor: Optional[float] = None) -> None:
+        if outcome.status == STATUS_SKIPPED:
+            stats[oracle]["skipped"] += 1
+            return
+        stats[oracle]["checked"] += 1
+        if outcome.status == STATUS_FAIL:
+            stats[oracle]["failed"] += 1
+            failures.append(_Failure(oracle, family, index, policy, factor,
+                                     outcome.detail, network, predicate))
+
+    # -- oracle (b) at scale: one pooled grid per mode ------------------
+    networks = [net for _family, _index, net in instances]
+    fast_rows = _batch_rows(networks, config.policies, config.workers, True)
+    generic_rows = _batch_rows(networks, config.policies, config.workers,
+                               False)
+    mismatched = {
+        f.index
+        for f, g in zip(fast_rows, generic_rows)
+        if f != g
+    }
+    for family, index, net in instances:
+        stats[ORACLE_KERNEL]["checked"] += 1
+        if index in mismatched:
+            # the pooled sweep found it; the per-instance check supplies
+            # the detailed divergence (and serves as the shrink predicate)
+            outcome = check_kernel_equivalence(net, config.policies)
+            detail = outcome.detail or "batch fast/generic rows diverge"
+            stats[ORACLE_KERNEL]["failed"] += 1
+            failures.append(_Failure(
+                ORACLE_KERNEL, family, index, None, None, detail, net,
+                lambda n: check_kernel_equivalence(n, config.policies).failed,
+            ))
+
+    # -- per-instance oracles (a), (c), (d) -----------------------------
+    for family, index, net in instances:
+        record(
+            ORACLE_ROUNDTRIP, check_roundtrip(net), family, index, net,
+            lambda n: check_roundtrip(n).failed,
+        )
+
+        factor = _sweep_factor(config.seed, family, index)
+        policy = config.policies[index % len(config.policies)]
+        record(
+            ORACLE_SWEEP, check_sweep_scaling(net, factor, policy),
+            family, index, net,
+            lambda n, _f=factor, _p=policy:
+                check_sweep_scaling(n, _f, _p).failed,
+            policy=policy, factor=factor,
+        )
+
+        record(
+            ORACLE_SOUNDNESS,
+            check_soundness(net, policy, horizon_cap=config.horizon_cap,
+                            seed=config.seed),
+            family, index, net,
+            lambda n, _p=policy: check_soundness(
+                n, _p, horizon_cap=config.horizon_cap, seed=config.seed
+            ).failed,
+            policy=policy,
+        )
+
+    # -- shrink the survivors -------------------------------------------
+    counterexamples: List[CounterExample] = []
+    for failure in failures[: config.max_counterexamples]:
+        shrunk = failure.network
+        shrunk_detail = failure.detail
+        if config.shrink:
+            shrunk = shrink_network(failure.network, failure.predicate,
+                                    max_evals=config.shrink_evals)
+            if shrunk is not failure.network:
+                shrunk_detail = _redescribe(failure, shrunk, config.seed)
+        counterexamples.append(CounterExample(
+            oracle=failure.oracle,
+            family=failure.family,
+            index=failure.index,
+            seed=config.seed,
+            policy=failure.policy,
+            factor=failure.factor,
+            detail=failure.detail,
+            network=failure.network,
+            shrunk=shrunk,
+            shrunk_detail=shrunk_detail,
+        ))
+
+    return CampaignResult(
+        config=config,
+        instances=len(instances),
+        family_counts=family_counts,
+        oracle_stats=stats,
+        counterexamples=counterexamples,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def _redescribe(failure: _Failure, shrunk: Network, seed: int) -> str:
+    """Re-run the failing oracle on the shrunk network for its detail."""
+    try:
+        if failure.oracle == ORACLE_ROUNDTRIP:
+            return check_roundtrip(shrunk).detail
+        if failure.oracle == ORACLE_KERNEL:
+            return check_kernel_equivalence(shrunk).detail
+        if failure.oracle == ORACLE_SWEEP:
+            return check_sweep_scaling(shrunk, failure.factor,
+                                       failure.policy or "dm").detail
+        if failure.oracle == ORACLE_SOUNDNESS:
+            return check_soundness(shrunk, failure.policy or "dm",
+                                   seed=seed).detail
+    except Exception as exc:  # pragma: no cover - diagnostic best effort
+        return f"(detail unavailable on shrunk network: {exc})"
+    return failure.detail

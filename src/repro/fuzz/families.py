@@ -1,0 +1,153 @@
+"""Seeded random network families for the fuzzing campaigns.
+
+Each family stresses one corner of the model where the eq. (11)/(16)/
+(17) bounds, the ``repro.perf`` kernels or the serialization layer could
+plausibly diverge from the token-bus reality:
+
+* ``multi-master-ring`` — many masters, shallow per-master load: the
+  token-passing terms (``Tdel``, ring latency) dominate;
+* ``jitter-heavy``    — large release jitter ``J`` relative to ``T``;
+* ``low-dominated``   — background low-priority traffic outweighs the
+  real-time streams (the eq. (13) blocking terms do the work);
+* ``retry-prone``     — per-stream retry limits far above the PHY
+  default, inflating ``Ch`` through the failed-attempt term;
+* ``mixed-baud``      — the same logical workloads at every plausible
+  line speed (bit-time scaling corners);
+* ``tight-ttr``       — TTR within a token pass of the ring latency, so
+  the late-token rule throttles masters to one message per visit.
+
+Families are pure functions of a :class:`random.Random`; the campaign
+derives that generator from ``(seed, family, index)`` via **string**
+seeding (:func:`family_rng`), which hashes with SHA-512 and is therefore
+stable across processes and ``PYTHONHASHSEED`` settings — any
+counterexample in a report can be regenerated from those three values.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Tuple
+
+from ..gen.network_gen import network_with_ttr_headroom, random_network
+from ..profibus.cycle import token_pass_time
+from ..profibus.network import Network
+from ..profibus.phy import PhyParameters
+
+FamilyFn = Callable[[random.Random], Network]
+
+#: Baud rates used by ``mixed-baud``.  The two slowest standard rates
+#: (9.6/19.2 kbit/s) give millisecond periods of only a handful of bit
+#: times — structurally overloaded beyond anything the analyses model —
+#: so the family starts at 93.75 kbit/s.
+_FUZZ_BAUD_RATES = (93_750, 187_500, 500_000, 1_500_000, 12_000_000)
+
+
+def family_rng(seed: int, family: str, index: int,
+               salt: str = "net") -> random.Random:
+    """The campaign RNG for one instance (process-independent)."""
+    return random.Random(f"{seed}:{family}:{index}:{salt}")
+
+
+def _multi_master_ring(rng: random.Random) -> Network:
+    net = random_network(
+        n_masters=rng.randint(4, 6),
+        streams_per_master=rng.randint(1, 2),
+        period_ms=(10.0, 80.0),
+        d_over_t=(0.3, 1.0),
+        low_priority_streams=rng.randint(0, 1),
+        payload_range=(2, 16),
+        rng=rng,
+    )
+    return network_with_ttr_headroom(net, headroom=1.2 + 1.8 * rng.random())
+
+
+def _jitter_heavy(rng: random.Random) -> Network:
+    net = random_network(
+        n_masters=rng.randint(2, 3),
+        streams_per_master=rng.randint(2, 3),
+        period_ms=(15.0, 100.0),
+        d_over_t=(0.4, 1.0),
+        low_priority_streams=1,
+        payload_range=(2, 24),
+        jitter_over_t=(0.05, 0.3),
+        rng=rng,
+    )
+    return network_with_ttr_headroom(net, headroom=1.5 + rng.random())
+
+
+def _low_dominated(rng: random.Random) -> Network:
+    net = random_network(
+        n_masters=rng.randint(1, 3),
+        streams_per_master=1,
+        period_ms=(20.0, 120.0),
+        d_over_t=(0.5, 1.0),
+        low_priority_streams=rng.randint(2, 4),
+        payload_range=(8, 64),
+        rng=rng,
+    )
+    return network_with_ttr_headroom(net, headroom=1.5 + 1.5 * rng.random())
+
+
+def _retry_prone(rng: random.Random) -> Network:
+    net = random_network(
+        n_masters=rng.randint(2, 3),
+        streams_per_master=rng.randint(1, 3),
+        period_ms=(20.0, 120.0),
+        d_over_t=(0.4, 1.0),
+        low_priority_streams=1,
+        payload_range=(2, 16),
+        max_retry=rng.randint(2, 7),
+        rng=rng,
+    )
+    return network_with_ttr_headroom(net, headroom=1.5 + rng.random())
+
+
+def _mixed_baud(rng: random.Random) -> Network:
+    phy = PhyParameters(baud_rate=rng.choice(_FUZZ_BAUD_RATES))
+    net = random_network(
+        n_masters=rng.randint(2, 3),
+        streams_per_master=rng.randint(1, 3),
+        period_ms=(15.0, 100.0),
+        d_over_t=(0.3, 1.0),
+        low_priority_streams=rng.randint(0, 1),
+        payload_range=(2, 24),
+        phy=phy,
+        rng=rng,
+    )
+    return network_with_ttr_headroom(net, headroom=1.3 + 1.2 * rng.random())
+
+
+def _tight_ttr(rng: random.Random) -> Network:
+    net = random_network(
+        n_masters=rng.randint(2, 4),
+        streams_per_master=rng.randint(1, 2),
+        period_ms=(15.0, 80.0),
+        d_over_t=(0.5, 1.0),
+        low_priority_streams=rng.randint(0, 1),
+        payload_range=(2, 12),
+        rng=rng,
+    )
+    slack = rng.randint(0, 2 * token_pass_time(net.phy))
+    return net.with_ttr(net.ring_latency() + slack)
+
+
+FAMILIES: Dict[str, FamilyFn] = {
+    "multi-master-ring": _multi_master_ring,
+    "jitter-heavy": _jitter_heavy,
+    "low-dominated": _low_dominated,
+    "retry-prone": _retry_prone,
+    "mixed-baud": _mixed_baud,
+    "tight-ttr": _tight_ttr,
+}
+
+
+def generate_instance(seed: int, family: str, index: int) -> Network:
+    """Instance ``index`` of ``family`` under campaign ``seed`` — a pure
+    function of its three arguments."""
+    try:
+        fn = FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {family!r}; pick from {sorted(FAMILIES)}"
+        )
+    return fn(family_rng(seed, family, index))

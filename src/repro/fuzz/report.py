@@ -1,0 +1,99 @@
+"""``FUZZ_report.json`` — the machine-readable campaign artefact.
+
+Schema ``profibus-rt/fuzz/v1`` (documented with an annotated example in
+PERF.md, "Fuzzing & differential validation").  Counterexample entries
+carry both the original failing network and its shrunk form as scenario
+documents (the :mod:`repro.profibus.serialization` format), so a report
+is self-contained: feed either document to ``repro-cli analyse --file``
+or rebuild the original instance from ``(seed, family, index)`` via
+:func:`repro.fuzz.generate_instance`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..profibus.serialization import network_to_dict
+from .campaign import CampaignResult, CounterExample
+
+FUZZ_SCHEMA = "profibus-rt/fuzz/v1"
+
+
+def _counterexample_doc(ce: CounterExample) -> Dict[str, Any]:
+    return {
+        "oracle": ce.oracle,
+        "family": ce.family,
+        "index": ce.index,
+        "seed": ce.seed,
+        "policy": ce.policy,
+        "factor": ce.factor,
+        "detail": ce.detail,
+        "network": network_to_dict(ce.network),
+        "shrunk_network": network_to_dict(ce.shrunk),
+        "shrunk_detail": ce.shrunk_detail,
+        "repro": (
+            f"repro.fuzz.generate_instance(seed={ce.seed}, "
+            f"family={ce.family!r}, index={ce.index})"
+        ),
+    }
+
+
+def report_to_dict(result: CampaignResult) -> Dict[str, Any]:
+    cfg = result.config
+    return {
+        "schema": FUZZ_SCHEMA,
+        "created_unix": time.time(),
+        "config": {
+            "budget": cfg.budget,
+            "seed": cfg.seed,
+            "families": list(cfg.families),
+            "policies": list(cfg.policies),
+            "workers": cfg.workers,
+            "horizon_cap": cfg.horizon_cap,
+            "max_counterexamples": cfg.max_counterexamples,
+            "shrink": cfg.shrink,
+        },
+        "instances": result.instances,
+        "families": dict(result.family_counts),
+        "oracles": {k: dict(v) for k, v in result.oracle_stats.items()},
+        "counterexamples": [
+            _counterexample_doc(ce) for ce in result.counterexamples
+        ],
+        "elapsed_seconds": round(result.elapsed_seconds, 3),
+        "status": "ok" if result.ok else "fail",
+    }
+
+
+def validate_report_dict(doc: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` when ``doc`` is not a well-formed v1 report
+    (used by the smoke tests and by consumers ingesting artefacts)."""
+    if doc.get("schema") != FUZZ_SCHEMA:
+        raise ValueError(f"unexpected schema {doc.get('schema')!r}")
+    for key in ("config", "instances", "families", "oracles",
+                "counterexamples", "status"):
+        if key not in doc:
+            raise ValueError(f"report missing key {key!r}")
+    if doc["status"] not in ("ok", "fail"):
+        raise ValueError(f"bad status {doc['status']!r}")
+    for name, row in doc["oracles"].items():
+        for counter in ("checked", "failed", "skipped"):
+            if not isinstance(row.get(counter), int):
+                raise ValueError(f"oracle {name!r} missing {counter!r}")
+    total_failed = sum(row["failed"] for row in doc["oracles"].values())
+    # status tracks the failure counters; the counterexample list is
+    # truncated to max_counterexamples, so it only bounds from below
+    if (doc["status"] == "fail") != (total_failed > 0):
+        raise ValueError("status inconsistent with oracle failure counts")
+    if doc["counterexamples"] and doc["status"] != "fail":
+        raise ValueError("counterexamples present in an 'ok' report")
+
+
+def write_report(result: CampaignResult,
+                 path: Union[str, Path] = "FUZZ_report.json") -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report_to_dict(result), indent=2,
+                               sort_keys=True) + "\n")
+    return path

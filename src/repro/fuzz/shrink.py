@@ -1,0 +1,132 @@
+"""Counterexample minimisation.
+
+Given a failing network and a predicate ``fails(network) -> bool``, the
+shrinker greedily applies reduction passes — drop a master, drop a
+slave, drop a stream, then simplify the surviving streams' fields
+(zero the jitter, default the cycle spec, relax ``D`` to ``T``, halve
+``T``) and pull the TTR down toward the ring latency — keeping each
+candidate only when it is still a valid network **and** still fails.
+
+Passes repeat until a fixed point (or the evaluation budget runs out),
+so the reported network is locally minimal: removing any single element
+makes the failure disappear.  Everything is deterministic — no RNG — so
+a shrink is reproducible from the original counterexample alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List
+
+from ..profibus.cycle import MessageCycleSpec
+from ..profibus.network import Master, Network
+from ..profibus.stream import MessageStream
+
+
+def _with_masters(net: Network, masters) -> Network:
+    return Network(masters=tuple(masters), slaves=net.slaves, phy=net.phy,
+                   ttr=net.ttr)
+
+
+def _replace_stream(net: Network, mi: int, si: int,
+                    stream: MessageStream) -> Network:
+    masters: List[Master] = list(net.masters)
+    streams = list(masters[mi].streams)
+    streams[si] = stream
+    masters[mi] = masters[mi].with_streams(streams)
+    return _with_masters(net, masters)
+
+
+def _candidates(net: Network) -> Iterator[Network]:
+    # 1. structural: drop a master / the slaves / a stream
+    if len(net.masters) > 1:
+        for i in range(len(net.masters)):
+            yield _with_masters(net, net.masters[:i] + net.masters[i + 1:])
+    if net.slaves:
+        yield Network(masters=net.masters, slaves=(), phy=net.phy,
+                      ttr=net.ttr)
+    for mi, m in enumerate(net.masters):
+        if len(m.streams) > (1 if len(net.masters) == 1 else 0):
+            for si in range(len(m.streams)):
+                masters = list(net.masters)
+                masters[mi] = m.with_streams(
+                    m.streams[:si] + m.streams[si + 1:]
+                )
+                yield _with_masters(net, masters)
+    # 2. per-stream field simplification
+    default_spec = MessageCycleSpec()
+    for mi, m in enumerate(net.masters):
+        for si, s in enumerate(m.streams):
+            if s.J:
+                yield _replace_stream(net, mi, si, replace(s, J=0))
+            if s.C_bits is None and s.spec != default_spec:
+                yield _replace_stream(net, mi, si,
+                                      replace(s, spec=default_spec))
+            if not s.high_priority:
+                yield _replace_stream(net, mi, si,
+                                      replace(s, high_priority=True))
+            if s.D != s.T:
+                yield _replace_stream(net, mi, si, replace(s, D=s.T))
+            if s.T >= 4:
+                half = s.T // 2
+                yield _replace_stream(
+                    net, mi, si,
+                    replace(s, T=half, D=min(s.D, half), J=min(s.J, half)),
+                )
+    # 3. pull the TTR toward the ring latency
+    if net.ttr is not None:
+        ring = net.ring_latency()
+        if net.ttr > ring:
+            yield net.with_ttr(ring)
+            mid = (net.ttr + ring) // 2
+            if ring < mid < net.ttr:
+                yield net.with_ttr(mid)
+
+
+def _valid(net: Network) -> bool:
+    if net.ttr is not None and net.ttr < net.ring_latency():
+        return False
+    return True
+
+
+def shrink_network(
+    network: Network,
+    fails: Callable[[Network], bool],
+    max_evals: int = 250,
+) -> Network:
+    """Smallest network the pass pipeline finds that still ``fails``.
+
+    ``max_evals`` bounds predicate evaluations (each may run analyses or
+    a simulation); on exhaustion the best network found so far is
+    returned.  A candidate that makes the predicate *raise* is treated
+    as not failing — the shrink must preserve the original defect, not
+    trade it for an unrelated crash.
+    """
+    evals = 0
+
+    def still_fails(candidate: Network) -> bool:
+        nonlocal evals
+        if evals >= max_evals:
+            return False
+        evals += 1
+        try:
+            return bool(fails(candidate))
+        except Exception:
+            return False
+
+    current = network
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in _candidates(current):
+            try:
+                ok = _valid(candidate)
+            except ValueError:
+                continue
+            if not ok:
+                continue
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+    return current

@@ -25,18 +25,28 @@ def random_stream(
     d_over_t: Tuple[float, float],
     payload_range: Tuple[int, int] = (4, 32),
     high_priority: bool = True,
+    jitter_over_t: Tuple[float, float] = (0.0, 0.0),
+    max_retry: Optional[int] = None,
 ) -> MessageStream:
-    """One random stream; D drawn as a fraction of T."""
+    """One random stream; D drawn as a fraction of T, J as a fraction of
+    T from ``jitter_over_t``; ``max_retry`` overrides the PHY retry
+    limit for the stream's cycle when given (retry-prone workloads)."""
     T = rng.randint(*t_range)
     frac = rng.uniform(*d_over_t)
     D = max(1, int(T * frac))
+    # Draw jitter only when jitter is possible at all: a zero draw would
+    # still advance the RNG and silently shift every seeded legacy
+    # workload (any spelling of "no jitter" must skip the draw).
+    J = int(T * rng.uniform(*jitter_over_t)) if jitter_over_t[1] > 0 else 0
     payload = rng.randint(*payload_range)
     return MessageStream(
         name=name,
         T=T,
         D=D,
+        J=J,
         high_priority=high_priority,
-        spec=MessageCycleSpec(req_payload=payload, resp_payload=payload),
+        spec=MessageCycleSpec(req_payload=payload, resp_payload=payload,
+                              max_retry=max_retry),
     )
 
 
@@ -50,6 +60,8 @@ def random_network(
     low_priority_streams: int = 1,
     payload_range: Tuple[int, int] = (4, 32),
     rng: Optional[random.Random] = None,
+    jitter_over_t: Tuple[float, float] = (0.0, 0.0),
+    max_retry: Optional[int] = None,
 ) -> Network:
     """A random network (TTR left unset; derive it per policy).
 
@@ -80,6 +92,8 @@ def random_network(
                 t_range,
                 d_over_t,
                 payload_range=payload_range,
+                jitter_over_t=jitter_over_t,
+                max_retry=max_retry,
             )
             for i in range(streams_per_master)
         ]
@@ -92,6 +106,7 @@ def random_network(
                     (1.0, 1.0),
                     payload_range=payload_range,
                     high_priority=False,
+                    max_retry=max_retry,
                 )
             )
         masters.append(Master(address=k + 1, streams=tuple(streams)))

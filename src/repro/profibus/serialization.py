@@ -101,21 +101,41 @@ def network_from_dict(doc: Dict[str, Any]) -> Network:
     )
 
 
+def _field_defaults(cls) -> Dict[str, Any]:
+    """Field name → declared default (``MISSING`` for required fields)."""
+    return {
+        f.name: (f.default_factory() if f.default_factory
+                 is not dataclasses.MISSING else f.default)
+        for f in dataclasses.fields(cls)
+    }
+
+
+_CYCLE_DEFAULTS = _field_defaults(MessageCycleSpec)
+_STREAM_DEFAULTS = _field_defaults(MessageStream)
+
+
 def network_to_dict(network: Network) -> Dict[str, Any]:
-    """Inverse of :func:`network_from_dict` (round-trip safe)."""
+    """Inverse of :func:`network_from_dict` (round-trip safe).
+
+    Optional fields are omitted exactly when they equal the dataclass
+    *defaults* (not when they are merely falsy): a ``max_retry`` of 0
+    overrides the PHY retry limit and must survive the round trip, and
+    any non-falsy default added to :class:`MessageCycleSpec` later stays
+    round-trip exact without touching this function.
+    """
     def stream_doc(s: MessageStream) -> Dict[str, Any]:
         out: Dict[str, Any] = {"name": s.name, "T": s.T, "D": s.D}
-        if s.J:
+        if s.J != _STREAM_DEFAULTS["J"]:
             out["J"] = s.J
-        if not s.high_priority:
-            out["high_priority"] = False
+        if s.high_priority != _STREAM_DEFAULTS["high_priority"]:
+            out["high_priority"] = s.high_priority
         if s.C_bits is not None:
             out["C_bits"] = s.C_bits
         else:
             out["cycle"] = {
                 k: v
                 for k, v in dataclasses.asdict(s.spec).items()
-                if v not in (0, False, None)
+                if v != _CYCLE_DEFAULTS[k]
             }
         return out
 

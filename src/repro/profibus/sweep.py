@@ -98,10 +98,12 @@ def ttr_sweep(
     """Analyse the network at each TTR (values below the ring latency
     are reported unschedulable rather than raising)."""
     ring = network.ring_latency()
-    entries = [
-        (ttr, network.with_ttr(int(ttr)) if ttr >= ring else None)
-        for ttr in ttr_values
-    ]
+    entries = []
+    for ttr in ttr_values:
+        # Round — never truncate — float grid values, and judge
+        # feasibility on the rounded TTR actually analysed.
+        t = int(round(ttr))
+        entries.append((ttr, network.with_ttr(t) if t >= ring else None))
     return _grid_rows("ttr", entries, policies, workers)
 
 
@@ -110,7 +112,10 @@ def _scale_deadlines(network: Network, factor: float) -> Network:
     for m in network.masters:
         streams = []
         for s in m.streams:
-            d = max(1, min(s.T, int(s.D * factor)))
+            # Round like _rescale_network does — truncation shifted E5
+            # acceptance curves by an off-by-one deadline tightening on
+            # fine factor grids.
+            d = max(1, min(s.T, int(round(s.D * factor))))
             streams.append(s.with_deadline(d))
         masters.append(m.with_streams(streams))
     return Network(masters=tuple(masters), slaves=network.slaves,

@@ -26,6 +26,9 @@ from .traffic import (
 )
 from .uniproc import UniprocStats, simulate_uniproc
 from .validate import (
+    VERDICT_INCOMPLETE,
+    VERDICT_SOUND,
+    VERDICT_UNSOUND,
     ValidationReport,
     ValidationRow,
     validate_network,
@@ -53,6 +56,9 @@ __all__ = [
     "TokenBusResult",
     "TrafficConfig",
     "UniprocStats",
+    "VERDICT_INCOMPLETE",
+    "VERDICT_SOUND",
+    "VERDICT_UNSOUND",
     "ValidationReport",
     "ValidationRow",
     "make_queue",

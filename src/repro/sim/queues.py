@@ -66,6 +66,12 @@ class _HeapQueue:
         while self._heap:
             yield self.pop()
 
+    def items(self) -> Iterator[Request]:
+        """Non-destructive iteration (heap order, not priority order) —
+        used by the end-of-run pending-work scan."""
+        for _key, _seq, req in self._heap:
+            yield req
+
 
 class FCFSQueue(_HeapQueue):
     """First-come-first-served: ordered by arrival (release, seq)."""
@@ -128,6 +134,10 @@ class StackQueue:
 
     def peek(self) -> Optional[Request]:
         return self._fifo[0] if self._fifo else None
+
+    def items(self) -> Iterator[Request]:
+        """Non-destructive iteration in staged (FIFO) order."""
+        return iter(self._fifo)
 
     def __len__(self) -> int:
         return len(self._fifo)

@@ -50,6 +50,16 @@ class StreamStats:
     missed: int = 0
     max_response: int = 0
     sum_response: int = 0
+    #: requests released inside the horizon (same ``stats_after`` filter
+    #: as ``completed``) — ``released > completed`` means work was still
+    #: outstanding when the run ended
+    released: int = 0
+    #: requests still queued or in flight when the horizon was reached
+    unfinished: int = 0
+    #: age (horizon − release) of the oldest such request; its eventual
+    #: response can only be larger, so validation counts it against the
+    #: analytic bound instead of ignoring it
+    max_pending_age: int = 0
     #: responses, kept only when the run asks for full traces
     responses: Optional[List[int]] = None
 
@@ -83,6 +93,13 @@ class StreamStats:
             self.missed += 1
         if self.responses is not None:
             self.responses.append(response)
+
+    def note_pending(self, age: int) -> None:
+        """One request still outstanding at the horizon, released
+        ``age`` bit times before it."""
+        self.unfinished += 1
+        if age > self.max_pending_age:
+            self.max_pending_age = age
 
 
 @dataclass
@@ -145,6 +162,9 @@ class _MasterState:
         else:
             raise ValueError(f"unknown master policy {policy!r}")
         self.low_queue = FCFSQueue()
+        #: request whose message cycle is on the wire right now — still
+        #: pending if the horizon cuts the cycle short
+        self.in_flight: Optional[Request] = None
         self.last_token_arrival = 0
         self.seen_token = False
         self.visits_since_gap = 0
@@ -313,6 +333,8 @@ def simulate_token_bus(
                     high_priority=stream.high_priority,
                     seq=seq_counter[0],
                 )
+                if t >= config.stats_after:
+                    _stats_for(master, stream).released += 1
                 if stream.high_priority:
                     state.enqueue_high(req)
                 else:
@@ -415,6 +437,7 @@ def simulate_token_bus(
                  next_phase: str) -> None:
         state = states[idx]
         start = sim.now
+        state.in_flight = req
         dur = cycle_length(req, state)
         done = start + dur
         if done > tth_expire > start:
@@ -433,6 +456,7 @@ def simulate_token_bus(
             ))
 
         def on_complete():
+            state.in_flight = None
             if config.tracer is not None:
                 from .trace import CYCLE_END, BusEvent
 
@@ -461,6 +485,27 @@ def simulate_token_bus(
     # token starts at master 0 at t=0
     sim.schedule(0, lambda: on_token_arrival(0), priority=PRIO_MAC)
     sim.run_until(horizon)
+
+    # Account for work the horizon cut off: requests still queued (or on
+    # the wire) never produced a response, but a validation layer that
+    # ignored them would vacuously "pass" a network whose messages never
+    # complete.  Record them with their age so bounds can be checked
+    # against the response they are already guaranteed to exceed.
+    def note_pending(req: Optional[Request]) -> None:
+        if req is None or req.release < config.stats_after:
+            return
+        master = by_name[req.master].master
+        _stats_for(master, master.stream(req.stream_name)).note_pending(
+            horizon - req.release
+        )
+
+    for state in states:
+        note_pending(state.in_flight)
+        for queue in (state.high_queue, state.ap_queue, state.stack,
+                      state.low_queue):
+            if queue is not None:
+                for req in queue.items():
+                    note_pending(req)
 
     return TokenBusResult(
         horizon=horizon,

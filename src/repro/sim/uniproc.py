@@ -31,6 +31,12 @@ class UniprocStats:
     max_response: Dict[str, int] = field(default_factory=dict)
     completed: Dict[str, int] = field(default_factory=dict)
     missed: Dict[str, int] = field(default_factory=dict)
+    #: jobs released inside the horizon, completed or not
+    released: Dict[str, int] = field(default_factory=dict)
+    #: jobs still unfinished when the run ended
+    unfinished: Dict[str, int] = field(default_factory=dict)
+    #: age (horizon − notional arrival) of the oldest unfinished job
+    max_pending_age: Dict[str, int] = field(default_factory=dict)
 
     def record(self, name: str, response, deadline) -> None:
         self.completed[name] = self.completed.get(name, 0) + 1
@@ -38,6 +44,11 @@ class UniprocStats:
             self.max_response[name] = response
         if response > deadline:
             self.missed[name] = self.missed.get(name, 0) + 1
+
+    def note_pending(self, name: str, age) -> None:
+        self.unfinished[name] = self.unfinished.get(name, 0) + 1
+        if age > self.max_pending_age.get(name, 0):
+            self.max_pending_age[name] = age
 
     @property
     def any_miss(self) -> bool:
@@ -104,6 +115,10 @@ def simulate_uniproc(
     releases.sort()
 
     stats = UniprocStats()
+    for rt, idx, _notional in releases:
+        if rt <= horizon:
+            name = taskset[idx].name
+            stats.released[name] = stats.released.get(name, 0) + 1
     ready: List[_Job] = []
     seq = 0
     rel_pos = 0
@@ -157,6 +172,15 @@ def simulate_uniproc(
             t = t + job.remaining
             task = taskset[job.task_idx]
             stats.record(task.name, t - job.notional, task.D)
+
+    # Jobs the horizon cut off — still in the ready queue or never
+    # dispatched — produced no response; record them so the validation
+    # layer can count them against the bounds instead of ignoring them.
+    for job in ready:
+        stats.note_pending(taskset[job.task_idx].name, horizon - job.notional)
+    for rt, idx, notional in releases[rel_pos:]:
+        if rt <= horizon:
+            stats.note_pending(taskset[idx].name, horizon - notional)
     return stats
 
 

@@ -8,6 +8,13 @@ response per stream/task, pairs it with the analytic bound, and returns
 
 and the reports also carry the tightness ratio ``observed / bound`` so
 benches can show how conservative each bound is.
+
+Releases that never complete inside the horizon are **not** ignored: a
+request still pending at the horizon has already waited ``horizon −
+release`` and its eventual response can only be larger, so that age is
+checked against the bound too, and a stream none of whose releases
+completed gets a distinct ``incomplete`` verdict instead of a vacuous
+pass (see :class:`ValidationRow.verdict`).
 """
 
 from __future__ import annotations
@@ -23,6 +30,17 @@ from .traffic import TrafficConfig, synchronous_offsets
 from .uniproc import simulate_uniproc
 
 
+#: Row verdicts: ``VERDICT_SOUND`` — every observation respects the
+#: bound; ``VERDICT_UNSOUND`` — a response (completed, or the age of a
+#: request still pending at the horizon) exceeded the bound;
+#: ``VERDICT_INCOMPLETE`` — releases happened but none completed, so
+#: there is no observation to check (the old code counted this as a
+#: vacuous pass).
+VERDICT_SOUND = "sound"
+VERDICT_UNSOUND = "unsound"
+VERDICT_INCOMPLETE = "incomplete"
+
+
 @dataclass(frozen=True)
 class ValidationRow:
     """One stream/task: analytic bound vs worst observed response."""
@@ -31,11 +49,38 @@ class ValidationRow:
     bound: Optional[int]
     observed: int
     completed: int
+    #: releases inside the horizon (completed or not)
+    released: int = 0
+    #: releases still unfinished when the horizon was reached
+    unfinished: int = 0
+    #: age (horizon − release) of the oldest unfinished release
+    pending_age: int = 0
+
+    @property
+    def effective_observed(self) -> int:
+        """Worst response the run is evidence for: the largest completed
+        response, or the age of the oldest request still pending at the
+        horizon — its eventual response can only be larger, so a
+        non-completing message counts *against* the bound rather than
+        being ignored."""
+        return max(self.observed, self.pending_age)
+
+    @property
+    def verdict(self) -> str:
+        if self.bound is None:
+            return VERDICT_SOUND  # no bound claimed, nothing to contradict
+        if self.effective_observed > self.bound:
+            return VERDICT_UNSOUND
+        if self.released and not self.completed:
+            return VERDICT_INCOMPLETE
+        return VERDICT_SOUND
 
     @property
     def sound(self) -> bool:
-        """True when the observation does not contradict the bound."""
-        return self.bound is None or self.observed <= self.bound
+        """True when the run positively supports the bound.  A stream
+        whose releases never completed inside the horizon is *not*
+        vacuously sound — see :attr:`verdict`."""
+        return self.verdict == VERDICT_SOUND
 
     @property
     def tightness(self) -> Optional[float]:
@@ -52,6 +97,14 @@ class ValidationReport:
     @property
     def all_sound(self) -> bool:
         return all(r.sound for r in self.rows)
+
+    @property
+    def unsound_rows(self) -> List[ValidationRow]:
+        return [r for r in self.rows if r.verdict == VERDICT_UNSOUND]
+
+    @property
+    def incomplete_rows(self) -> List[ValidationRow]:
+        return [r for r in self.rows if r.verdict == VERDICT_INCOMPLETE]
 
     @property
     def worst_tightness(self) -> Optional[float]:
@@ -93,6 +146,9 @@ def validate_network(
                 bound=sr.R,
                 observed=stats.max_response if stats else 0,
                 completed=stats.completed if stats else 0,
+                released=stats.released if stats else 0,
+                unfinished=stats.unfinished if stats else 0,
+                pending_age=stats.max_pending_age if stats else 0,
             )
         )
     return ValidationReport(
@@ -131,6 +187,9 @@ def validate_uniproc(
                 bound=bounds.get(task.name),
                 observed=stats.max_response.get(task.name, 0),
                 completed=stats.completed.get(task.name, 0),
+                released=stats.released.get(task.name, 0),
+                unfinished=stats.unfinished.get(task.name, 0),
+                pending_age=stats.max_pending_age.get(task.name, 0),
             )
         )
     return ValidationReport(

@@ -1,0 +1,314 @@
+"""Tests for the differential soundness-fuzzing subsystem (repro.fuzz).
+
+Covers the three ISSUE oracles as property tests over fuzz-generated
+networks, the campaign engine + report schema, the shrinker, and the
+regression the subsystem exists to catch: a deliberately-reintroduced
+``_scale_deadlines`` truncation must be found and shrunk from a seeded
+campaign.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import (
+    FAMILIES,
+    CampaignConfig,
+    check_kernel_equivalence,
+    check_roundtrip,
+    check_soundness,
+    check_sweep_scaling,
+    generate_instance,
+    reference_scaled_deadlines,
+    run_campaign,
+    shrink_network,
+    validate_report_dict,
+    write_report,
+)
+from repro.profibus import network_from_dict, network_to_dict
+from repro.profibus.network import Network
+from repro.profibus.sweep import ttr_sweep
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_generates_valid_network(self, family):
+        net = generate_instance(0, family, 0)
+        assert net.masters
+        assert net.ttr is not None
+        assert net.ttr >= net.ring_latency()
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_pure_function_of_seed(self, family):
+        a = generate_instance(7, family, 3)
+        b = generate_instance(7, family, 3)
+        assert a == b  # value-equal, fresh instances
+
+    def test_distinct_across_indices(self):
+        nets = {generate_instance(0, "jitter-heavy", i) for i in range(6)}
+        assert len(nets) > 1
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            generate_instance(0, "nope", 0)
+
+    def test_jitter_family_has_jitter(self):
+        net = generate_instance(0, "jitter-heavy", 0)
+        assert any(s.J > 0 for m in net.masters for s in m.streams)
+
+    def test_tight_ttr_family_is_tight(self):
+        net = generate_instance(0, "tight-ttr", 0)
+        from repro.profibus.cycle import token_pass_time
+
+        assert net.ttr - net.ring_latency() <= 2 * token_pass_time(net.phy)
+
+
+def _sample(n_per_family=3, seed=0):
+    return [
+        (family, i, generate_instance(seed, family, i))
+        for family in sorted(FAMILIES)
+        for i in range(n_per_family)
+    ]
+
+
+def _truncating_scale_deadlines(network, factor):
+    """The pre-fix `_scale_deadlines` with `int()` truncation — the bug
+    the campaign's sweep oracle exists to catch."""
+    masters = []
+    for m in network.masters:
+        streams = [
+            s.with_deadline(max(1, min(s.T, int(s.D * factor))))
+            for s in m.streams
+        ]
+        masters.append(m.with_streams(streams))
+    return Network(masters=tuple(masters), slaves=network.slaves,
+                   phy=network.phy, ttr=network.ttr)
+
+
+class TestOracleProperties:
+    """The ISSUE's three property tests, over fuzz-generated networks."""
+
+    def test_sim_vs_analysis_soundness(self):
+        for family, i, net in _sample(2):
+            policy = ("fcfs", "dm", "edf")[i % 3]
+            out = check_soundness(net, policy, seed=0)
+            assert out.status in ("ok", "skipped"), (
+                f"{family}#{i} {policy}: {out.detail}"
+            )
+
+    def test_serialization_round_trip_identity(self):
+        for family, i, net in _sample(3):
+            assert network_from_dict(network_to_dict(net)) == net, (
+                f"{family}#{i}"
+            )
+
+    def test_ttr_sweep_monotone_in_ttr(self):
+        # eqs. (11)/(16)/(17) are monotone in TTR: once a policy becomes
+        # infeasible on a rising TTR grid it must stay infeasible, and
+        # while every stream stays schedulable (all fixed points
+        # converge) the worst response never decreases.  Beyond that,
+        # diverging streams drop out of the max, so no global claim.
+        for family, i, net in _sample(2):
+            lo = net.ring_latency()
+            grid = [lo, lo + 400, lo + 1600, lo + 6400]
+            for policy in ("fcfs", "dm"):
+                rows = ttr_sweep(net, grid, policies=(policy,))
+                sched = [r.schedulable for r in rows]
+                for a, b in zip(sched, sched[1:]):
+                    assert a or not b, f"{family}#{i} {policy}: {sched}"
+                responses = [r.worst_response for r in rows
+                             if r.schedulable]
+                assert responses == sorted(responses), (
+                    f"{family}#{i} {policy}: {responses}"
+                )
+
+    def test_kernel_equivalence(self):
+        for family, i, net in _sample(2):
+            out = check_kernel_equivalence(net)
+            assert out.status == "ok", f"{family}#{i}: {out.detail}"
+
+    def test_sweep_scaling_contract(self):
+        for family, i, net in _sample(2):
+            out = check_sweep_scaling(net, 0.735)
+            assert out.status == "ok", f"{family}#{i}: {out.detail}"
+
+
+class TestSweepRounding:
+    """The satellite sweep bugfix: rounding, not truncation."""
+
+    def test_scale_deadlines_rounds(self):
+        from repro.profibus.sweep import _scale_deadlines
+        from repro.scenarios import single_master_network
+
+        net = single_master_network()
+        d0 = net.masters[0].streams[0].D  # 2500
+        factor = 0.9999  # D·f = 2499.75: round → 2500, truncate → 2499
+        scaled = _scale_deadlines(net, factor)
+        got = scaled.masters[0].streams[0].D
+        assert got == int(round(d0 * factor)) == 2500
+        assert got != int(d0 * factor)  # truncation would be off by one
+
+    def test_reference_matches_production(self, factory_cell):
+        from repro.profibus.sweep import _scale_deadlines
+
+        for factor in (0.251, 0.5, 0.735, 0.999, 1.25):
+            scaled = _scale_deadlines(factory_cell, factor)
+            got = [s.D for m in scaled.masters for s in m.streams]
+            assert got == reference_scaled_deadlines(factory_cell, factor)
+
+    def test_ttr_sweep_rounds_float_values(self, factory_cell):
+        from repro.profibus import analyse
+
+        rows = ttr_sweep(factory_cell, [2999.6], policies=("dm",))
+        assert rows[0].tcycle == analyse(
+            factory_cell, "dm", ttr=3000
+        ).tcycle
+
+    def test_ttr_sweep_feasibility_on_rounded_value(self, factory_cell):
+        # a float just below the ring latency that rounds up to it is
+        # analysable, not structurally infeasible
+        ring = factory_cell.ring_latency()
+        rows = ttr_sweep(factory_cell, [ring - 0.4], policies=("dm",))
+        assert rows[0].worst_response is not None
+
+
+class TestShrinker:
+    def test_shrinks_to_local_minimum(self, factory_cell):
+        # predicate: any master carries a stream with D < 25 ms
+        limit = 25 * 1500
+
+        def fails(net: Network) -> bool:
+            return any(s.D < limit for m in net.masters for s in m.streams)
+
+        shrunk = shrink_network(factory_cell, fails)
+        assert fails(shrunk)
+        assert len(shrunk.masters) == 1
+        assert len(shrunk.masters[0].streams) == 1
+        assert not shrunk.slaves
+
+    def test_never_fails_predicate_returns_original(self, factory_cell):
+        assert shrink_network(factory_cell, lambda n: False) is factory_cell
+
+    def test_predicate_exception_is_not_failing(self, factory_cell):
+        def explosive(net):
+            if len(net.masters) < 4:
+                raise RuntimeError("boom")
+            return True
+
+        shrunk = shrink_network(factory_cell, explosive)
+        assert len(shrunk.masters) == 4  # crashes never count as failures
+
+
+class TestCampaign:
+    def test_clean_campaign(self, tmp_path):
+        result = run_campaign(CampaignConfig(budget=18, seed=0))
+        assert result.ok
+        assert result.instances == 18
+        assert len(result.family_counts) >= 4
+        assert all(n > 0 for n in result.family_counts.values())
+        for name in ("soundness", "kernel_equivalence", "roundtrip",
+                     "sweep_scaling"):
+            assert result.oracle_stats[name]["checked"] > 0
+            assert result.oracle_stats[name]["failed"] == 0
+
+        path = write_report(result, tmp_path / "FUZZ_report.json")
+        doc = json.loads(path.read_text())
+        validate_report_dict(doc)
+        assert doc["status"] == "ok"
+        assert doc["config"]["seed"] == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(budget=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(families=("nope",))
+        with pytest.raises(ValueError):
+            # 0 would truncate the counterexample list to empty while
+            # failures exist — ok/status must never be maskable
+            CampaignConfig(max_counterexamples=0)
+
+    def test_ok_derived_from_failure_counters(self, monkeypatch):
+        # more failures than max_counterexamples: the truncated list
+        # must not launder the run into "ok"
+        from repro.profibus import sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod, "_scale_deadlines",
+                            _truncating_scale_deadlines)
+        result = run_campaign(
+            CampaignConfig(budget=12, seed=0, max_counterexamples=1,
+                           shrink=False)
+        )
+        assert result.oracle_stats["sweep_scaling"]["failed"] > 1
+        assert len(result.counterexamples) == 1
+        assert result.total_failed > 1
+        assert not result.ok
+
+    def test_reintroduced_truncation_is_caught_and_shrunk(self, monkeypatch):
+        """The acceptance regression: put the old `int(s.D * factor)`
+        truncation back into the sweep layer; a seeded campaign must
+        find it, and the shrinker must reduce the counterexample to a
+        single-master single-stream network that still fails."""
+        from repro.profibus import sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod, "_scale_deadlines",
+                            _truncating_scale_deadlines)
+        result = run_campaign(
+            CampaignConfig(budget=12, seed=0, max_counterexamples=1)
+        )
+        assert not result.ok
+        assert result.oracle_stats["sweep_scaling"]["failed"] > 0
+        ce = result.counterexamples[0]
+        assert ce.oracle == "sweep_scaling"
+        # seeded reproduction: the counterexample identifies its instance
+        assert generate_instance(ce.seed, ce.family, ce.index) == ce.network
+        # the shrinker drove it to a locally-minimal network...
+        assert len(ce.shrunk.masters) == 1
+        assert len(ce.shrunk.masters[0].streams) == 1
+        # ...that still exhibits the divergence
+        out = check_sweep_scaling(ce.shrunk, ce.factor, ce.policy)
+        assert out.status == "fail"
+        assert "reference" in out.detail
+
+    def test_report_counterexample_documents_load(self, monkeypatch):
+        from repro.profibus import sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod, "_scale_deadlines",
+                            _truncating_scale_deadlines)
+        result = run_campaign(
+            CampaignConfig(budget=6, seed=3, max_counterexamples=1,
+                           shrink=False)
+        )
+        assert not result.ok
+        from repro.fuzz import report_to_dict
+
+        doc = report_to_dict(result)
+        validate_report_dict(doc)
+        entry = doc["counterexamples"][0]
+        assert network_from_dict(entry["network"]) == \
+            result.counterexamples[0].network
+        assert network_from_dict(entry["shrunk_network"]) == \
+            result.counterexamples[0].shrunk
+        assert "generate_instance" in entry["repro"]
+
+
+class TestCliFuzz:
+    def test_clean_run_exit_zero(self, capsys, tmp_path):
+        out_path = tmp_path / "FUZZ_report.json"
+        rc = main(["fuzz", "--budget", "8", "--seed", "1",
+                   "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "soundness" in out
+        assert "kernel_equivalence" in out
+        doc = json.loads(out_path.read_text())
+        validate_report_dict(doc)
+
+    def test_family_restriction(self, capsys, tmp_path):
+        out_path = tmp_path / "FUZZ_report.json"
+        rc = main(["fuzz", "--budget", "4", "--seed", "0",
+                   "--families", "tight-ttr", "retry-prone",
+                   "--out", str(out_path)])
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        assert set(doc["families"]) == {"tight-ttr", "retry-prone"}

@@ -104,3 +104,44 @@ class TestMinimalDocuments:
             "slaves": [{"address": 9, "name": "drive"}],
         })
         assert net.slaves[0].name == "drive"
+
+
+class TestDefaultAwareFilter:
+    """Regression: optional fields are omitted when they equal the
+    dataclass *default*, not when they are merely falsy."""
+
+    def test_max_retry_zero_round_trips(self, tmp_path):
+        # max_retry=0 (no retries) is falsy but differs from the default
+        # (None = inherit the PHY limit); the old falsy filter dropped it
+        from repro.profibus import Master, MessageCycleSpec, MessageStream, Network
+
+        net = Network(masters=(Master(1, (
+            MessageStream("x", T=10_000,
+                          spec=MessageCycleSpec(req_payload=4,
+                                                max_retry=0)),
+        )),), ttr=500)
+        doc = network_to_dict(net)
+        assert doc["masters"][0]["streams"][0]["cycle"]["max_retry"] == 0
+        loaded = network_from_dict(doc)
+        assert loaded == net
+        assert loaded.masters[0].stream("x").spec.max_retry == 0
+        # the dropped override changed the analysed cycle length
+        assert loaded.masters[0].stream("x").cycle_bits(loaded.phy) == \
+            net.masters[0].stream("x").cycle_bits(net.phy)
+
+    def test_exact_network_equality_round_trip(self):
+        net = factory_cell_network()
+        assert network_from_dict(network_to_dict(net)) == net
+
+    def test_default_values_still_omitted(self):
+        from repro.profibus import Master, MessageCycleSpec, MessageStream, Network
+
+        net = Network(masters=(Master(1, (
+            MessageStream("plain", T=1000,
+                          spec=MessageCycleSpec(req_payload=8)),
+        )),), ttr=500)
+        stream_doc = network_to_dict(net)["masters"][0]["streams"][0]
+        assert "J" not in stream_doc
+        assert "high_priority" not in stream_doc
+        cycle = stream_doc["cycle"]
+        assert set(cycle) == {"req_payload"}  # all other fields at default

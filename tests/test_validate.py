@@ -68,3 +68,81 @@ class TestValidateUniproc:
         )
         assert rep.all_sound
         assert rep.worst_tightness is None
+
+
+class TestUnfinishedReleases:
+    """Regression: a message that never finishes inside the horizon must
+    not vacuously pass its bound (the old `completed == 0` hole)."""
+
+    def test_row_verdict_properties(self):
+        from repro.sim.validate import (
+            VERDICT_INCOMPLETE,
+            VERDICT_SOUND,
+            VERDICT_UNSOUND,
+            ValidationRow,
+        )
+
+        # nothing completed, pending work younger than the bound:
+        # incomplete, and NOT sound
+        row = ValidationRow("s", bound=100, observed=0, completed=0,
+                            released=2, unfinished=2, pending_age=50)
+        assert row.verdict == VERDICT_INCOMPLETE
+        assert not row.sound
+
+        # a pending request older than the bound is direct evidence of
+        # unsoundness — counted against the bound, not ignored
+        row = ValidationRow("s", bound=100, observed=0, completed=0,
+                            released=1, unfinished=1, pending_age=150)
+        assert row.verdict == VERDICT_UNSOUND
+        assert row.effective_observed == 150
+        assert not row.sound
+
+        # completions within the bound with young pending work: sound
+        row = ValidationRow("s", bound=100, observed=80, completed=5,
+                            released=6, unfinished=1, pending_age=20)
+        assert row.verdict == VERDICT_SOUND
+        assert row.sound
+
+        # no bound claimed: nothing to contradict
+        row = ValidationRow("s", bound=None, observed=0, completed=0,
+                            released=3, unfinished=3, pending_age=999)
+        assert row.sound
+
+    def test_short_horizon_network_is_not_vacuously_sound(self, single_master):
+        # 100 bit times: the first cycle cannot complete, so every stream
+        # has released-but-unfinished work and no observations at all
+        rep = validate_network(single_master, "dm", horizon=100)
+        assert all(r.completed == 0 for r in rep.rows)
+        assert all(r.released > 0 for r in rep.rows)
+        assert not rep.all_sound
+        assert rep.incomplete_rows or rep.unsound_rows
+
+    def test_report_partitions_failures(self, single_master):
+        rep = validate_network(single_master, "dm", horizon=100)
+        failing = {r.name for r in rep.incomplete_rows} | {
+            r.name for r in rep.unsound_rows
+        }
+        assert failing == {r.name for r in rep.rows if not r.sound}
+
+    def test_long_horizon_still_sound(self, single_master):
+        rep = validate_network(single_master, "dm", horizon=2_000_000)
+        assert rep.all_sound
+        for r in rep.rows:
+            assert r.released >= r.completed
+            assert r.verdict == "sound"
+
+    def test_uniproc_unfinished_detected(self):
+        from repro.core import Task, TaskSet
+
+        # the high-priority hog runs past the horizon, so "starved" never
+        # executes: released but unfinished — must not pass vacuously
+        ts = TaskSet((
+            Task(C=60, T=100, D=100, priority=1, name="hog"),
+            Task(C=50, T=100, D=100, priority=2, name="starved"),
+        ))
+        rep = validate_uniproc(ts, {"hog": 200, "starved": 100}, horizon=40)
+        row = rep.row("starved")
+        assert row.completed == 0 and row.released == 1
+        assert row.unfinished == 1
+        assert not row.sound
+        assert not rep.all_sound
