@@ -215,18 +215,39 @@ def _cmd_fuzz(args) -> int:
         families=families,
         workers=args.workers,
         horizon_cap=args.horizon_cap,
+        max_horizon_extensions=args.max_extensions,
+        horizon_extension_factor=args.extension_factor,
+        checkpoint=args.checkpoint,
         max_counterexamples=args.max_counterexamples,
         shrink=not args.no_shrink,
     )
     result = run_campaign(config)
+    t = result.timings
     print(f"fuzz: {result.instances} instances, seed {config.seed}, "
           f"{len(config.families)} families "
-          f"({result.elapsed_seconds:.1f}s)")
+          f"({result.elapsed_seconds:.1f}s: "
+          f"kernel grid {t.get('kernel_grid_seconds', 0.0):.1f}s, "
+          f"instance oracles {t.get('instance_oracles_seconds', 0.0):.1f}s, "
+          f"shrink {t.get('shrink_seconds', 0.0):.1f}s)")
+    if result.resumed_instances:
+        print(f"  resumed {result.resumed_instances} instance(s) from "
+              f"checkpoint {config.checkpoint}")
     for name, row in result.oracle_stats.items():
         line = f"  {name:<20} checked={row['checked']} failed={row['failed']}"
         if row["skipped"]:
             line += f" skipped={row['skipped']}"
+        if row["extended"]:
+            line += f" extended={row['extended']}"
         print(line)
+    failing_families = {
+        family: {o: row["failed"] for o, row in per_oracle.items()
+                 if row["failed"]}
+        for family, per_oracle in result.family_oracle_stats.items()
+        if any(row["failed"] for row in per_oracle.values())
+    }
+    for family, per_oracle in sorted(failing_families.items()):
+        breakdown = ", ".join(f"{o}={n}" for o, n in sorted(per_oracle.items()))
+        print(f"  family {family}: {breakdown}")
     for ce in result.counterexamples:
         masters = len(ce.shrunk.masters)
         streams = sum(len(m.streams) for m in ce.shrunk.masters)
@@ -351,15 +372,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="campaign seed (instances are a pure function of "
                         "seed, family, index)")
     p.add_argument("--workers", type=int, default=1,
-                   help="process-pool size for the batched "
-                        "kernel-equivalence sweep (default: serial)")
+                   help="process-pool size for the kernel-equivalence grid "
+                        "and the per-instance oracles, including the "
+                        "soundness simulations (default: serial)")
     p.add_argument("--families", nargs="*", default=None, metavar="FAMILY",
                    choices=sorted(FAMILIES),
                    help="restrict to these network families "
                         f"(default: all; choices: {', '.join(sorted(FAMILIES))})")
     p.add_argument("--horizon-cap", type=int, default=3_000_000,
-                   help="skip the soundness simulation when the needed "
-                        "horizon exceeds this many bit times")
+                   help="initial soundness-simulation horizon budget in bit "
+                        "times; larger needs start capped here and rely on "
+                        "the auto-extender")
+    p.add_argument("--max-extensions", type=int, default=4,
+                   help="geometric horizon retries before an incomplete "
+                        "soundness run is recorded as a skip (0 disables "
+                        "the auto-extender)")
+    p.add_argument("--extension-factor", type=float, default=2.0,
+                   help="horizon multiplier per auto-extension retry")
+    p.add_argument("--checkpoint", default=None, metavar="STATE.jsonl",
+                   help="stream per-instance results to this JSONL file; "
+                        "rerunning with the same file resumes an "
+                        "interrupted campaign")
     p.add_argument("--max-counterexamples", type=positive_int, default=10,
                    help="stop collecting/shrinking after this many failures")
     p.add_argument("--no-shrink", action="store_true",

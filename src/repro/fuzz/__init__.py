@@ -15,12 +15,21 @@ on every instance:
 * the sweep layer vs an independent restatement of its scaling
   contract.
 
-Any failure is shrunk to a locally-minimal network before being
-reported in ``FUZZ_report.json`` (schema in PERF.md).  Front end:
-``repro-cli fuzz --budget 200 --seed 0``.
+The per-instance oracles — above all the token-bus soundness
+simulations, the dominant cost — run over the
+:func:`repro.perf.batch.pooled_imap` process pool (``--workers N``), so
+overnight budgets (10⁵+ instances) are feasible; a streaming JSONL
+checkpoint (``--checkpoint``) lets an interrupted campaign resume with
+identical counters.  Soundness runs whose horizon comes back
+``incomplete`` are geometrically extended before a skip is ever
+recorded.  Any failure is shrunk to a locally-minimal network before
+being reported in ``FUZZ_report.json`` (schema ``profibus-rt/fuzz/v2``
+in PERF.md, with per-(family × oracle) counters and a wall-clock phase
+breakdown).  Front end: ``repro-cli fuzz --budget 200 --seed 0``.
 """
 
 from .campaign import (
+    COUNTERS,
     ORACLE_KERNEL,
     ORACLE_ROUNDTRIP,
     ORACLE_SOUNDNESS,
@@ -49,6 +58,7 @@ from .report import (
 from .shrink import shrink_network
 
 __all__ = [
+    "COUNTERS",
     "CampaignConfig",
     "CampaignResult",
     "CounterExample",

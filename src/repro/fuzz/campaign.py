@@ -6,16 +6,28 @@ A campaign is a pure function of ``(seed, budget, families, policies)``:
    pure function of ``(seed, family, index)``;
 2. run the **kernel-equivalence oracle at scale**: the whole
    (network × policy) grid goes through :func:`repro.perf.batch.analyse_many`
-   twice — fast paths on, then the generic exact path — optionally over
-   the process pool (``workers=N``), and the two row lists must be
-   bit-identical;
-3. per instance, run the **round-trip**, **sweep-scaling** (with a
-   seeded scale factor) and **token-bus soundness** oracles (soundness
+   twice — fast paths on, then the generic exact path — over the process
+   pool (``workers=N``), and the two row lists must be bit-identical;
+3. run the **per-instance oracles** — **round-trip**, **sweep-scaling**
+   (with a seeded scale factor) and **token-bus soundness** (soundness
    rotates through the policies so a budget-``n`` campaign simulates
-   ``n`` networks, not ``3n``);
+   ``n`` networks, not ``3n``) — over the same process pool via
+   :func:`repro.perf.batch.pooled_imap`.  The soundness simulations are
+   the dominant cost of a campaign, so this is what makes
+   ``--budget 100000 --workers N`` an overnight-feasible run;
 4. shrink each failure to a locally-minimal network that still fails
    the same oracle, and package everything as a
-   :class:`CampaignResult` for ``FUZZ_report.json``.
+   :class:`CampaignResult` for ``FUZZ_report.json`` (schema
+   ``profibus-rt/fuzz/v2``: per-(family × oracle) counters and a
+   wall-clock phase breakdown).
+
+Long campaigns can stream a **JSONL checkpoint** (``checkpoint=PATH`` /
+``--checkpoint``): every finished instance appends one line, and a
+killed campaign rerun with the same checkpoint resumes where it stopped
+— the resumed run folds the recorded rows back in index order, so its
+counters and counterexamples are identical to an uninterrupted run's
+(only the timing fields differ).  The cheap kernel-equivalence grid is
+recomputed on resume; it is deterministic, so the outcome is unchanged.
 
 The CLI front end is ``repro-cli fuzz`` (see :mod:`repro.cli`); the
 report schema is documented in PERF.md.
@@ -23,17 +35,30 @@ report schema is documented in PERF.md.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from functools import partial
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    IO,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from ..perf.batch import analyse_many
+from ..perf.batch import analyse_many, pooled_imap
 from ..perf.config import set_fast_path
 from ..profibus.network import Network
 from .families import FAMILIES, family_rng, generate_instance
 from .oracles import (
     DEFAULT_POLICIES,
     STATUS_FAIL,
+    STATUS_OK,
     STATUS_SKIPPED,
     OracleOutcome,
     check_kernel_equivalence,
@@ -49,6 +74,11 @@ ORACLE_ROUNDTRIP = "roundtrip"
 ORACLE_SWEEP = "sweep_scaling"
 ORACLES = (ORACLE_SOUNDNESS, ORACLE_KERNEL, ORACLE_ROUNDTRIP, ORACLE_SWEEP)
 
+#: counters kept per oracle, overall and per family
+COUNTERS = ("checked", "failed", "skipped", "extended")
+
+_CHECKPOINT_SCHEMA = "profibus-rt/fuzz-checkpoint/v1"
+
 
 @dataclass(frozen=True)
 class CampaignConfig:
@@ -56,12 +86,20 @@ class CampaignConfig:
     seed: int = 0
     families: Tuple[str, ...] = tuple(FAMILIES)
     policies: Tuple[str, ...] = DEFAULT_POLICIES
-    #: process-pool size for the batched kernel-equivalence sweep
-    #: (``None`` = cpu count, ``1`` = serial in-process)
+    #: process-pool size for the kernel-equivalence grid *and* the
+    #: per-instance oracles (``None`` = cpu count, ``1`` = serial)
     workers: Optional[int] = 1
-    #: skip the soundness simulation when the required horizon exceeds
-    #: this many bit times (counted as ``skipped`` in the report)
+    #: initial soundness-simulation horizon budget (bit times); runs
+    #: whose required horizon exceeds it start capped here and rely on
+    #: the auto-extender below
     horizon_cap: int = 3_000_000
+    #: geometric horizon retries before an ``incomplete`` soundness run
+    #: is recorded as a (tracked) skip
+    max_horizon_extensions: int = 4
+    horizon_extension_factor: float = 2.0
+    #: JSONL file streaming one line per finished instance; an existing
+    #: file with a matching header resumes the campaign after it
+    checkpoint: Optional[str] = None
     max_counterexamples: int = 10
     shrink: bool = True
     shrink_evals: int = 250
@@ -71,6 +109,10 @@ class CampaignConfig:
             raise ValueError("budget must be >= 1")
         if self.max_counterexamples < 1:
             raise ValueError("max_counterexamples must be >= 1")
+        if self.max_horizon_extensions < 0:
+            raise ValueError("max_horizon_extensions must be >= 0")
+        if self.horizon_extension_factor <= 1.0:
+            raise ValueError("horizon_extension_factor must be > 1")
         if not self.families:
             raise ValueError("need at least one family")
         unknown = set(self.families) - set(FAMILIES)
@@ -101,10 +143,21 @@ class CampaignResult:
     config: CampaignConfig
     instances: int
     family_counts: Dict[str, int]
-    #: oracle name → {"checked": n, "failed": n, "skipped": n}
+    #: oracle name → {"checked": n, "failed": n, "skipped": n, "extended": n}
     oracle_stats: Dict[str, Dict[str, int]]
+    #: family → oracle name → the same counters (failure-rate tracking
+    #: per family is what overnight campaigns trend over time)
+    family_oracle_stats: Dict[str, Dict[str, Dict[str, int]]]
     counterexamples: List[CounterExample]
-    elapsed_seconds: float
+    #: wall-clock phase breakdown: generate / kernel_grid /
+    #: instance_oracles / shrink / total, in seconds
+    timings: Dict[str, float]
+    #: instances folded back from the checkpoint instead of re-run
+    resumed_instances: int = 0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.timings.get("total_seconds", 0.0)
 
     @property
     def total_failed(self) -> int:
@@ -126,8 +179,6 @@ class _Failure:
     policy: Optional[str]
     factor: Optional[float]
     detail: str
-    network: Network
-    predicate: Callable[[Network], bool]
 
 
 def _sweep_factor(seed: int, family: str, index: int) -> float:
@@ -146,94 +197,271 @@ def _batch_rows(networks: Sequence[Network], policies: Sequence[str],
         set_fast_path(previous)
 
 
+def _outcome_doc(oracle: str, outcome: OracleOutcome,
+                 policy: Optional[str] = None,
+                 factor: Optional[float] = None) -> Dict[str, Any]:
+    """One oracle result as the plain-JSON row the checkpoint stores."""
+    return {
+        "oracle": oracle,
+        "status": outcome.status,
+        "detail": outcome.detail,
+        "policy": policy,
+        "factor": factor,
+        "extensions": outcome.extensions,
+    }
+
+
+def _instance_worker(
+    item: Tuple[str, int],
+    seed: int,
+    policies: Tuple[str, ...],
+    horizon_cap: int,
+    max_extensions: int,
+    extension_factor: float,
+) -> Dict[str, Any]:
+    """Pool entry: all per-instance oracles for one ``(family, index)``.
+
+    The worker regenerates the instance from ``(seed, family, index)``
+    — cheaper than pickling the network over, and exactly what makes the
+    checkpoint format self-contained."""
+    family, index = item
+    net = generate_instance(seed, family, index)
+    policy = policies[index % len(policies)]
+    factor = _sweep_factor(seed, family, index)
+    results = [
+        _outcome_doc(ORACLE_ROUNDTRIP, check_roundtrip(net)),
+        _outcome_doc(
+            ORACLE_SWEEP, check_sweep_scaling(net, factor, policy),
+            policy=policy, factor=factor,
+        ),
+        _outcome_doc(
+            ORACLE_SOUNDNESS,
+            check_soundness(
+                net, policy, horizon_cap=horizon_cap, seed=seed,
+                max_extensions=max_extensions,
+                extension_factor=extension_factor,
+            ),
+            policy=policy,
+        ),
+    ]
+    return {"kind": "row", "family": family, "index": index,
+            "results": results}
+
+
+# ----------------------------------------------------------- checkpointing
+
+def _checkpoint_header(config: CampaignConfig) -> Dict[str, Any]:
+    """The config fingerprint a checkpoint must match to be resumed.
+    ``workers`` is deliberately absent: resuming with a different pool
+    size is a feature, not a mismatch."""
+    return {
+        "kind": "header",
+        "schema": _CHECKPOINT_SCHEMA,
+        "seed": config.seed,
+        "budget": config.budget,
+        "families": list(config.families),
+        "policies": list(config.policies),
+        "horizon_cap": config.horizon_cap,
+        "max_horizon_extensions": config.max_horizon_extensions,
+        "horizon_extension_factor": config.horizon_extension_factor,
+    }
+
+
+def _load_checkpoint(
+    path: Path, config: CampaignConfig
+) -> Tuple[Dict[int, Dict[str, Any]], int]:
+    """Recorded instance rows from an interrupted campaign, keyed by
+    index, plus the byte offset where intact content ends.  Empty when
+    the file does not exist (or holds no header yet).  Raises
+    ``ValueError`` when the header belongs to a different campaign.  A
+    partial trailing line (the process was killed mid-write) is ignored
+    — the caller must truncate the file to the returned offset before
+    appending, or the next record would fuse with the partial line into
+    one unparseable row and lose everything recorded after it on the
+    *next* resume."""
+    if not path.exists():
+        return {}, 0
+    done: Dict[int, Dict[str, Any]] = {}
+    header_seen = False
+    valid_end = 0
+    with path.open("rb") as fh:
+        for raw in fh:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                valid_end += len(raw)
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if not header_seen:
+                    raise ValueError(
+                        f"checkpoint {path} has a corrupt header line; "
+                        "delete the file to start fresh"
+                    )
+                break  # killed mid-write: everything before is intact
+            if not raw.endswith(b"\n"):
+                # a complete-looking JSON document without its newline is
+                # still a torn write; drop it too
+                break
+            valid_end += len(raw)
+            if not header_seen:
+                expected = _checkpoint_header(config)
+                if record != expected:
+                    raise ValueError(
+                        f"checkpoint {path} belongs to a different campaign "
+                        f"(header {record!r} != config {expected!r}); "
+                        "delete it or match the original configuration"
+                    )
+                header_seen = True
+                continue
+            if record.get("kind") != "row":
+                continue
+            index = record["index"]
+            if 0 <= index < config.budget:
+                done[index] = record
+    return done, valid_end
+
+
 def run_campaign(config: CampaignConfig = CampaignConfig()) -> CampaignResult:
     start = time.perf_counter()
-    instances: List[Tuple[str, int, Network]] = []
+    timings: Dict[str, float] = {}
+    pairs: List[Tuple[str, int]] = []
     family_counts: Dict[str, int] = {f: 0 for f in config.families}
     for i in range(config.budget):
         family = config.families[i % len(config.families)]
-        instances.append((family, i, generate_instance(config.seed, family, i)))
+        pairs.append((family, i))
         family_counts[family] += 1
 
-    stats = {
-        name: {"checked": 0, "failed": 0, "skipped": 0} for name in ORACLES
+    def new_counters() -> Dict[str, int]:
+        return {c: 0 for c in COUNTERS}
+
+    stats = {name: new_counters() for name in ORACLES}
+    family_stats = {
+        family: {name: new_counters() for name in ORACLES}
+        for family in config.families
     }
     failures: List[_Failure] = []
 
-    def record(oracle: str, outcome: OracleOutcome, family: str, index: int,
-               network: Network, predicate: Callable[[Network], bool],
-               policy: Optional[str] = None,
-               factor: Optional[float] = None) -> None:
-        if outcome.status == STATUS_SKIPPED:
-            stats[oracle]["skipped"] += 1
-            return
-        stats[oracle]["checked"] += 1
-        if outcome.status == STATUS_FAIL:
-            stats[oracle]["failed"] += 1
-            failures.append(_Failure(oracle, family, index, policy, factor,
-                                     outcome.detail, network, predicate))
+    def fold(oracle: str, family: str, status: str, extensions: int) -> None:
+        for bucket in (stats[oracle], family_stats[family][oracle]):
+            if status == STATUS_SKIPPED:
+                bucket["skipped"] += 1
+            else:
+                bucket["checked"] += 1
+                if status == STATUS_FAIL:
+                    bucket["failed"] += 1
+            if extensions:
+                bucket["extended"] += 1
 
-    # -- oracle (b) at scale: one pooled grid per mode ------------------
-    networks = [net for _family, _index, net in instances]
-    fast_rows = _batch_rows(networks, config.policies, config.workers, True)
-    generic_rows = _batch_rows(networks, config.policies, config.workers,
-                               False)
-    mismatched = {
-        f.index
-        for f, g in zip(fast_rows, generic_rows)
-        if f != g
-    }
-    for family, index, net in instances:
-        stats[ORACLE_KERNEL]["checked"] += 1
-        if index in mismatched:
-            # the pooled sweep found it; the per-instance check supplies
-            # the detailed divergence (and serves as the shrink predicate)
-            outcome = check_kernel_equivalence(net, config.policies)
-            detail = outcome.detail or "batch fast/generic rows diverge"
-            stats[ORACLE_KERNEL]["failed"] += 1
-            failures.append(_Failure(
-                ORACLE_KERNEL, family, index, None, None, detail, net,
-                lambda n: check_kernel_equivalence(n, config.policies).failed,
-            ))
+    # -- resume state ---------------------------------------------------
+    ckpt_path = Path(config.checkpoint) if config.checkpoint else None
+    done: Dict[int, Dict[str, Any]] = {}
+    ckpt_file: Optional[IO[str]] = None
+    if ckpt_path is not None:
+        done, valid_end = _load_checkpoint(ckpt_path, config)
+        ckpt_file = ckpt_path.open("a")
+        if ckpt_file.tell() != valid_end:
+            # drop the torn trailing line a kill left behind, so the next
+            # append starts on a fresh line instead of fusing with it
+            ckpt_file.truncate(valid_end)
+            ckpt_file.seek(valid_end)
+        if valid_end == 0:
+            ckpt_file.write(
+                json.dumps(_checkpoint_header(config), sort_keys=True) + "\n"
+            )
+            ckpt_file.flush()
+    resumed = len(done)
 
-    # -- per-instance oracles (a), (c), (d) -----------------------------
-    for family, index, net in instances:
-        record(
-            ORACLE_ROUNDTRIP, check_roundtrip(net), family, index, net,
-            lambda n: check_roundtrip(n).failed,
+    try:
+        # -- generate the instances (also needed by the kernel grid) ----
+        t0 = time.perf_counter()
+        networks = [
+            generate_instance(config.seed, family, index)
+            for family, index in pairs
+        ]
+        timings["generate_seconds"] = time.perf_counter() - t0
+
+        # -- oracle (b) at scale: one pooled grid per mode --------------
+        # Deterministic and cheap next to the simulations, so a resumed
+        # campaign simply recomputes it.
+        t0 = time.perf_counter()
+        fast_rows = _batch_rows(networks, config.policies, config.workers,
+                                True)
+        generic_rows = _batch_rows(networks, config.policies, config.workers,
+                                   False)
+        mismatched = {
+            f.index
+            for f, g in zip(fast_rows, generic_rows)
+            if f != g
+        }
+        for (family, index), net in zip(pairs, networks):
+            if index in mismatched:
+                # the pooled sweep found it; the per-instance check
+                # supplies the detailed divergence
+                outcome = check_kernel_equivalence(net, config.policies)
+                detail = outcome.detail or "batch fast/generic rows diverge"
+                fold(ORACLE_KERNEL, family, STATUS_FAIL, 0)
+                failures.append(_Failure(
+                    ORACLE_KERNEL, family, index, None, None, detail,
+                ))
+            else:
+                fold(ORACLE_KERNEL, family, STATUS_OK, 0)
+        timings["kernel_grid_seconds"] = time.perf_counter() - t0
+
+        # -- per-instance oracles (a), (c), (d) on the pool -------------
+        t0 = time.perf_counter()
+        todo = [pair for pair in pairs if pair[1] not in done]
+        worker = partial(
+            _instance_worker,
+            seed=config.seed,
+            policies=config.policies,
+            horizon_cap=config.horizon_cap,
+            max_extensions=config.max_horizon_extensions,
+            extension_factor=config.horizon_extension_factor,
         )
+        records = list(done.values())
+        for record in pooled_imap(worker, todo, workers=config.workers):
+            if ckpt_file is not None:
+                ckpt_file.write(json.dumps(record, sort_keys=True) + "\n")
+                ckpt_file.flush()
+            records.append(record)
+        timings["instance_oracles_seconds"] = time.perf_counter() - t0
+    finally:
+        if ckpt_file is not None:
+            ckpt_file.close()
 
-        factor = _sweep_factor(config.seed, family, index)
-        policy = config.policies[index % len(config.policies)]
-        record(
-            ORACLE_SWEEP, check_sweep_scaling(net, factor, policy),
-            family, index, net,
-            lambda n, _f=factor, _p=policy:
-                check_sweep_scaling(n, _f, _p).failed,
-            policy=policy, factor=factor,
-        )
-
-        record(
-            ORACLE_SOUNDNESS,
-            check_soundness(net, policy, horizon_cap=config.horizon_cap,
-                            seed=config.seed),
-            family, index, net,
-            lambda n, _p=policy: check_soundness(
-                n, _p, horizon_cap=config.horizon_cap, seed=config.seed
-            ).failed,
-            policy=policy,
-        )
+    # Fold in index order: a resumed campaign and an uninterrupted one
+    # see the same failure sequence, so truncation to max_counterexamples
+    # picks the same instances.
+    records.sort(key=lambda r: r["index"])
+    for record in records:
+        family, index = record["family"], record["index"]
+        if pairs[index] != (family, index):
+            raise ValueError(
+                f"checkpoint row {index} carries family {family!r}, "
+                f"campaign expects {pairs[index][0]!r}"
+            )
+        for row in record["results"]:
+            fold(row["oracle"], family, row["status"], row["extensions"])
+            if row["status"] == STATUS_FAIL:
+                failures.append(_Failure(
+                    row["oracle"], family, index, row["policy"],
+                    row["factor"], row["detail"],
+                ))
 
     # -- shrink the survivors -------------------------------------------
+    t0 = time.perf_counter()
     counterexamples: List[CounterExample] = []
     for failure in failures[: config.max_counterexamples]:
-        shrunk = failure.network
+        network = generate_instance(config.seed, failure.family,
+                                    failure.index)
+        shrunk = network
         shrunk_detail = failure.detail
         if config.shrink:
-            shrunk = shrink_network(failure.network, failure.predicate,
+            shrunk = shrink_network(network, _predicate_for(failure, config),
                                     max_evals=config.shrink_evals)
-            if shrunk is not failure.network:
-                shrunk_detail = _redescribe(failure, shrunk, config.seed)
+            if shrunk is not network:
+                shrunk_detail = _redescribe(failure, shrunk, config)
         counterexamples.append(CounterExample(
             oracle=failure.oracle,
             family=failure.family,
@@ -242,34 +470,68 @@ def run_campaign(config: CampaignConfig = CampaignConfig()) -> CampaignResult:
             policy=failure.policy,
             factor=failure.factor,
             detail=failure.detail,
-            network=failure.network,
+            network=network,
             shrunk=shrunk,
             shrunk_detail=shrunk_detail,
         ))
+    timings["shrink_seconds"] = time.perf_counter() - t0
+    timings["total_seconds"] = time.perf_counter() - start
 
     return CampaignResult(
         config=config,
-        instances=len(instances),
+        instances=len(pairs),
         family_counts=family_counts,
         oracle_stats=stats,
+        family_oracle_stats=family_stats,
         counterexamples=counterexamples,
-        elapsed_seconds=time.perf_counter() - start,
+        timings=timings,
+        resumed_instances=resumed,
     )
 
 
-def _redescribe(failure: _Failure, shrunk: Network, seed: int) -> str:
-    """Re-run the failing oracle on the shrunk network for its detail."""
+def _predicate_for(failure: _Failure,
+                   config: CampaignConfig) -> Callable[[Network], bool]:
+    """The shrink predicate: does ``network`` still fail the same oracle
+    under the campaign's own configuration?"""
+    if failure.oracle == ORACLE_ROUNDTRIP:
+        return lambda n: check_roundtrip(n).failed
+    if failure.oracle == ORACLE_KERNEL:
+        return lambda n: check_kernel_equivalence(n, config.policies).failed
+    if failure.oracle == ORACLE_SWEEP:
+        return lambda n: check_sweep_scaling(
+            n, failure.factor, failure.policy or "dm"
+        ).failed
+    if failure.oracle == ORACLE_SOUNDNESS:
+        return lambda n: check_soundness(
+            n, failure.policy or "dm", horizon_cap=config.horizon_cap,
+            seed=config.seed, max_extensions=config.max_horizon_extensions,
+            extension_factor=config.horizon_extension_factor,
+        ).failed
+    raise ValueError(f"unknown oracle {failure.oracle!r}")
+
+
+def _redescribe(failure: _Failure, shrunk: Network,
+                config: CampaignConfig) -> str:
+    """Re-run the failing oracle on the shrunk network for its detail —
+    under the campaign's configuration (the kernel oracle in particular
+    must see ``config.policies``: describing the shrunk network against
+    the default policy set can disagree with the shrink predicate when a
+    custom ``--policies`` campaign found the failure)."""
     try:
         if failure.oracle == ORACLE_ROUNDTRIP:
             return check_roundtrip(shrunk).detail
         if failure.oracle == ORACLE_KERNEL:
-            return check_kernel_equivalence(shrunk).detail
+            return check_kernel_equivalence(shrunk, config.policies).detail
         if failure.oracle == ORACLE_SWEEP:
             return check_sweep_scaling(shrunk, failure.factor,
                                        failure.policy or "dm").detail
         if failure.oracle == ORACLE_SOUNDNESS:
-            return check_soundness(shrunk, failure.policy or "dm",
-                                   seed=seed).detail
+            return check_soundness(
+                shrunk, failure.policy or "dm",
+                horizon_cap=config.horizon_cap, seed=config.seed,
+                max_extensions=config.max_horizon_extensions,
+                extension_factor=config.horizon_extension_factor,
+            ).detail
     except Exception as exc:  # pragma: no cover - diagnostic best effort
         return f"(detail unavailable on shrunk network: {exc})"
     return failure.detail

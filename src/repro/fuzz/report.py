@@ -1,11 +1,15 @@
 """``FUZZ_report.json`` — the machine-readable campaign artefact.
 
-Schema ``profibus-rt/fuzz/v1`` (documented with an annotated example in
-PERF.md, "Fuzzing & differential validation").  Counterexample entries
-carry both the original failing network and its shrunk form as scenario
-documents (the :mod:`repro.profibus.serialization` format), so a report
-is self-contained: feed either document to ``repro-cli analyse --file``
-or rebuild the original instance from ``(seed, family, index)`` via
+Schema ``profibus-rt/fuzz/v2`` (documented with an annotated example in
+PERF.md, "Fuzzing & differential validation").  v2 adds per-(family ×
+oracle) counters (``family_oracles``), an ``extended`` counter for
+soundness runs the horizon auto-extender had to retry, a wall-clock
+phase breakdown (``timings``) and the checkpoint/resume fields.
+Counterexample entries carry both the original failing network and its
+shrunk form as scenario documents (the
+:mod:`repro.profibus.serialization` format), so a report is
+self-contained: feed either document to ``repro-cli analyse --file`` or
+rebuild the original instance from ``(seed, family, index)`` via
 :func:`repro.fuzz.generate_instance`.
 """
 
@@ -17,9 +21,9 @@ from pathlib import Path
 from typing import Any, Dict, Union
 
 from ..profibus.serialization import network_to_dict
-from .campaign import CampaignResult, CounterExample
+from .campaign import COUNTERS, CampaignResult, CounterExample
 
-FUZZ_SCHEMA = "profibus-rt/fuzz/v1"
+FUZZ_SCHEMA = "profibus-rt/fuzz/v2"
 
 
 def _counterexample_doc(ce: CounterExample) -> Dict[str, Any]:
@@ -53,35 +57,58 @@ def report_to_dict(result: CampaignResult) -> Dict[str, Any]:
             "policies": list(cfg.policies),
             "workers": cfg.workers,
             "horizon_cap": cfg.horizon_cap,
+            "max_horizon_extensions": cfg.max_horizon_extensions,
+            "horizon_extension_factor": cfg.horizon_extension_factor,
+            "checkpoint": cfg.checkpoint,
             "max_counterexamples": cfg.max_counterexamples,
             "shrink": cfg.shrink,
         },
         "instances": result.instances,
+        "resumed_instances": result.resumed_instances,
         "families": dict(result.family_counts),
         "oracles": {k: dict(v) for k, v in result.oracle_stats.items()},
+        "family_oracles": {
+            family: {oracle: dict(row) for oracle, row in per_oracle.items()}
+            for family, per_oracle in result.family_oracle_stats.items()
+        },
         "counterexamples": [
             _counterexample_doc(ce) for ce in result.counterexamples
         ],
+        "timings": {k: round(v, 3) for k, v in result.timings.items()},
         "elapsed_seconds": round(result.elapsed_seconds, 3),
         "status": "ok" if result.ok else "fail",
     }
 
 
 def validate_report_dict(doc: Dict[str, Any]) -> None:
-    """Raise ``ValueError`` when ``doc`` is not a well-formed v1 report
+    """Raise ``ValueError`` when ``doc`` is not a well-formed v2 report
     (used by the smoke tests and by consumers ingesting artefacts)."""
     if doc.get("schema") != FUZZ_SCHEMA:
         raise ValueError(f"unexpected schema {doc.get('schema')!r}")
     for key in ("config", "instances", "families", "oracles",
-                "counterexamples", "status"):
+                "family_oracles", "counterexamples", "timings", "status"):
         if key not in doc:
             raise ValueError(f"report missing key {key!r}")
     if doc["status"] not in ("ok", "fail"):
         raise ValueError(f"bad status {doc['status']!r}")
     for name, row in doc["oracles"].items():
-        for counter in ("checked", "failed", "skipped"):
+        for counter in COUNTERS:
             if not isinstance(row.get(counter), int):
                 raise ValueError(f"oracle {name!r} missing {counter!r}")
+    # the per-family breakdown must tile the overall counters exactly
+    for name, row in doc["oracles"].items():
+        for counter in COUNTERS:
+            family_total = sum(
+                per_oracle.get(name, {}).get(counter, 0)
+                for per_oracle in doc["family_oracles"].values()
+            )
+            if family_total != row[counter]:
+                raise ValueError(
+                    f"family_oracles {counter!r} sum {family_total} != "
+                    f"overall {name!r} counter {row[counter]}"
+                )
+    if "total_seconds" not in doc["timings"]:
+        raise ValueError("timings missing 'total_seconds'")
     total_failed = sum(row["failed"] for row in doc["oracles"].values())
     # status tracks the failure counters; the counterexample list is
     # truncated to max_counterexamples, so it only bounds from below

@@ -12,8 +12,11 @@ without changing a single reported number:
   (all-``int`` tasksets take these automatically; results are
   bit-identical to the generic :func:`repro.core.timeops.fixed_point`
   path, property-tested in ``tests/test_perf_kernels.py``);
-* :mod:`repro.perf.batch` — embarrassingly-parallel batch drivers
-  (``analyse_many``, ``acceptance_curve``) with process-pool chunking;
+* :mod:`repro.perf.batch` — embarrassingly-parallel batch drivers: a
+  reusable chunked process-pool map (``pooled_map``/``pooled_imap``,
+  also the engine under the fuzzing campaigns' per-instance oracles)
+  plus the analysis grid drivers (``analyse_many``,
+  ``acceptance_curve``) built on it;
 * :mod:`repro.perf.bench` — the ``bench`` CLI backend emitting
   machine-readable ``BENCH_*.json`` throughput artefacts.
 
@@ -29,6 +32,8 @@ __all__ = [
     "acceptance_curve",
     "analyse_many",
     "generate_networks",
+    "pooled_imap",
+    "pooled_map",
     "run_benchmark",
     "write_benchmark",
     "fast_path_disabled",
@@ -41,6 +46,8 @@ _LAZY = {
     "acceptance_curve": "batch",
     "analyse_many": "batch",
     "generate_networks": "batch",
+    "pooled_imap": "batch",
+    "pooled_map": "batch",
     "run_benchmark": "bench",
     "write_benchmark": "bench",
 }

@@ -1,21 +1,23 @@
 """Embarrassingly-parallel batch analysis drivers.
 
 The design-space exploration layers — sweeps, acceptance curves, the E5
-benchmark — all evaluate ``analyse(network, policy)`` over large
-(network × policy) grids with no cross-row dependencies.  This module
-gives that layer one engine:
+benchmark, the fuzzing campaigns — all evaluate pure per-item work over
+large grids with no cross-item dependencies.  This module gives that
+layer one engine:
 
-* :func:`analyse_many` — evaluate a grid, serial or over a process pool
-  with chunking (a chunk amortises pickling and lets the per-master /
-  per-set memo caches warm up inside each worker);
+* :func:`pooled_map` / :func:`pooled_imap` — chunked process-pool map
+  over any picklable function (a chunk amortises pickling and lets the
+  per-master / per-set memo caches warm up inside each worker); workers
+  inherit the caller's fast-path setting and report their fixed-point
+  iteration counts back into the parent's tallies, fast and generic
+  separately;
+* :func:`analyse_many` — the (network × policy) analysis grid on top of
+  it;
 * :func:`generate_networks` — reproducible workload generation threading
   one :class:`random.Random` end-to-end (no global ``random`` state);
 * :func:`acceptance_curve` — the E5 experiment (fraction of random
   networks schedulable per policy per deadline-tightness level) on top
   of both.
-
-Workers inherit the caller's fast-path setting, so the benchmark driver
-can time the generic exact path through the same machinery.
 """
 
 from __future__ import annotations
@@ -23,8 +25,20 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from random import Random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..gen.network_gen import random_network
 from ..profibus.network import Network, stream_specs
@@ -129,19 +143,79 @@ def _analyse_one(index: int, network: Network, policy: str) -> BatchResult:
     )
 
 
-def _run_chunk(
-    payload: Tuple[List[Tuple[int, Network]], Sequence[str], bool]
-) -> Tuple[List[BatchResult], int]:
-    """Worker entry: analyse one chunk, return rows + iteration count."""
-    jobs, policies, fast = payload
+def _pooled_chunk(
+    payload: Tuple[Callable[[Any], Any], List[Any], bool]
+) -> Tuple[List[Any], int, int]:
+    """Worker entry: run one chunk, return results + both iteration
+    tallies.  Fast and generic counts travel back *separately* — a
+    fast-mode worker can still take generic fallbacks (non-int streams),
+    and folding one combined number into the parent's fast bucket used
+    to credit those generic iterations to the fast path."""
+    fn, items, fast = payload
     set_fast_path(fast)
     counters.reset()
-    rows = [
-        _analyse_one(index, network, policy)
-        for index, network in jobs
-        for policy in policies
+    results = [fn(item) for item in items]
+    return results, counters.fast, counters.generic
+
+
+def pooled_imap(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> Iterator[Any]:
+    """Yield ``fn(item)`` for every item, in submission order.
+
+    ``workers=None`` uses ``os.cpu_count()``; ``workers<=1`` (or fewer
+    than two items) runs serial in-process with no pool overhead.  In
+    pooled mode the items are split into chunks (one pickling round trip
+    each, memo caches warm up inside a chunk) and results stream back
+    chunk by chunk as workers finish, which lets callers checkpoint
+    long campaigns incrementally.  ``fn`` must be picklable: a
+    module-level function or a :func:`functools.partial` of one.
+
+    Workers inherit the caller's fast-path setting, and their fixed-point
+    iteration counts are folded into this process's
+    :data:`repro.perf.stats.counters` — fast into fast, generic into
+    generic — so accounting is identical to a serial run.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    items = list(items)
+    if workers <= 1 or len(items) < 2:
+        for item in items:
+            yield fn(item)
+        return
+    if chunksize is None:
+        # ~4 chunks per worker balances scheduling slack vs. pickling.
+        chunksize = max(1, len(items) // (workers * 4))
+    chunks = [
+        (fn, items[i:i + chunksize], fast_path_enabled())
+        for i in range(0, len(items), chunksize)
     ]
-    return rows, counters.fast + counters.generic
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for results, fast_iters, generic_iters in pool.map(
+            _pooled_chunk, chunks
+        ):
+            counters.fast += fast_iters
+            counters.generic += generic_iters
+            yield from results
+
+
+def pooled_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[Any]:
+    """:func:`pooled_imap`, materialised."""
+    return list(pooled_imap(fn, items, workers=workers, chunksize=chunksize))
+
+
+def _analyse_pair(job: Tuple[int, Network],
+                  policies: Sequence[str]) -> List[BatchResult]:
+    index, network = job
+    return [_analyse_one(index, network, policy) for policy in policies]
 
 
 def analyse_many(
@@ -161,36 +235,19 @@ def analyse_many(
     if workers is None:
         workers = os.cpu_count() or 1
     jobs = list(enumerate(networks))
-    if workers <= 1 or len(jobs) < 2 * workers:
-        return [
-            _analyse_one(index, network, policy)
-            for index, network in jobs
-            for policy in policies
-        ]
-
-    if chunksize is None:
-        # ~4 chunks per worker balances scheduling slack vs. pickling.
-        chunksize = max(1, len(jobs) // (workers * 4))
-    chunks = [
-        (jobs[i:i + chunksize], tuple(policies), fast_path_enabled())
-        for i in range(0, len(jobs), chunksize)
-    ]
+    if len(jobs) < 2 * workers:
+        workers = 1  # too small to amortise a pool
     rows: List[BatchResult] = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for chunk_rows, iterations in pool.map(_run_chunk, chunks):
-            rows.extend(chunk_rows)
-            # Fold worker iteration counts into this process's tally so
-            # the bench sees one total either way.
-            if fast_path_enabled():
-                counters.fast += iterations
-            else:
-                counters.generic += iterations
+    fn = partial(_analyse_pair, policies=tuple(policies))
+    for pair_rows in pooled_imap(fn, jobs, workers=workers,
+                                 chunksize=chunksize):
+        rows.extend(pair_rows)
     return rows
 
 
 def generate_networks(
     n: int,
-    seed: int = 0,
+    seed: Union[int, str] = 0,
     n_masters: int = 3,
     streams_per_master: int = 3,
     d_over_t: Tuple[float, float] = (0.15, 1.0),
@@ -203,7 +260,9 @@ def generate_networks(
     One :class:`random.Random` threads through every draw, so the
     workload is a pure function of ``seed`` — equal seeds give
     value-equal networks (fresh instances each call: the instance-keyed
-    analysis memos never leak between repetitions).
+    analysis memos never leak between repetitions).  String seeds hash
+    with SHA-512 inside :class:`random.Random`, stable across processes
+    and ``PYTHONHASHSEED`` settings.
     """
     rng = Random(seed)
     nets = []
@@ -219,6 +278,15 @@ def generate_networks(
         ttr = max(net.ring_latency(), int(tdel(net) * ttr_fraction_of_tdel))
         nets.append(net.with_ttr(ttr))
     return nets
+
+
+def _point_seed(seed: int, tightness: float) -> str:
+    """Per-point workload seed for :func:`acceptance_curve`.  ``repr``
+    of a float round-trips exactly, so the encoding is injective — the
+    old ``seed * 1_000_003 + int(x * 1000)`` mix collided for tightness
+    levels agreeing to three decimals (0.2 vs 0.2004 on fine grids) and
+    fed those points identical workloads."""
+    return f"{seed}:{tightness!r}"
 
 
 def acceptance_curve(
@@ -244,7 +312,7 @@ def acceptance_curve(
     for x in tightness:
         batch = generate_networks(
             n_per_point,
-            seed=seed * 1_000_003 + int(x * 1000),
+            seed=_point_seed(seed, x),
             n_masters=n_masters,
             streams_per_master=streams_per_master,
             d_over_t=(x * 0.6, x),

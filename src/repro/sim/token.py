@@ -39,6 +39,15 @@ from .queues import FCFSQueue, Request, StackQueue, make_queue
 from .traffic import ReleasePattern, TrafficConfig, synchronous_offsets
 
 
+def stream_key(master_name: str, stream_name: str) -> str:
+    """The ``"master/stream"`` key indexing :attr:`TokenBusResult.streams`
+    — one definition shared with the validation layer, so analysis rows
+    and simulation statistics cannot drift apart by key construction
+    (a row whose key is nevertheless absent gets the ``missing`` verdict
+    in :mod:`repro.sim.validate`)."""
+    return f"{master_name}/{stream_name}"
+
+
 @dataclass
 class StreamStats:
     """Observed behaviour of one stream."""
@@ -132,7 +141,7 @@ class TokenBusResult:
     events: int
 
     def stream(self, master: str, name: str) -> StreamStats:
-        return self.streams[f"{master}/{name}"]
+        return self.streams[stream_key(master, name)]
 
     @property
     def any_miss(self) -> bool:
@@ -299,7 +308,7 @@ def simulate_token_bus(
     seq_counter = [0]
 
     def _stats_for(master: Master, stream) -> StreamStats:
-        key = f"{master.name}/{stream.name}"
+        key = stream_key(master.name, stream.name)
         if key not in stream_stats:
             stream_stats[key] = StreamStats(
                 master=master.name,

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional
 from ..core.task import TaskSet
 from ..profibus.network import Network
 from ..profibus.ttr import analyse
-from .token import TokenBusConfig, TokenBusResult, simulate_token_bus
+from .token import TokenBusConfig, TokenBusResult, simulate_token_bus, stream_key
 from .traffic import TrafficConfig, synchronous_offsets
 from .uniproc import simulate_uniproc
 
@@ -35,10 +35,14 @@ from .uniproc import simulate_uniproc
 #: request still pending at the horizon) exceeded the bound;
 #: ``VERDICT_INCOMPLETE`` — releases happened but none completed, so
 #: there is no observation to check (the old code counted this as a
-#: vacuous pass).
+#: vacuous pass); ``VERDICT_MISSING`` — the analysis stream has no
+#: simulation statistics at all (a key mismatch between the two layers),
+#: so the row is evidence of a broken harness, not of a sound bound (the
+#: old code gave such rows ``released=0`` and a vacuous ``sound``).
 VERDICT_SOUND = "sound"
 VERDICT_UNSOUND = "unsound"
 VERDICT_INCOMPLETE = "incomplete"
+VERDICT_MISSING = "missing"
 
 
 @dataclass(frozen=True)
@@ -55,6 +59,9 @@ class ValidationRow:
     unfinished: int = 0
     #: age (horizon − release) of the oldest unfinished release
     pending_age: int = 0
+    #: the simulator produced no statistics for this stream at all —
+    #: see :data:`VERDICT_MISSING`
+    missing: bool = False
 
     @property
     def effective_observed(self) -> int:
@@ -67,6 +74,8 @@ class ValidationRow:
 
     @property
     def verdict(self) -> str:
+        if self.missing:
+            return VERDICT_MISSING
         if self.bound is None:
             return VERDICT_SOUND  # no bound claimed, nothing to contradict
         if self.effective_observed > self.bound:
@@ -107,6 +116,10 @@ class ValidationReport:
         return [r for r in self.rows if r.verdict == VERDICT_INCOMPLETE]
 
     @property
+    def missing_rows(self) -> List[ValidationRow]:
+        return [r for r in self.rows if r.verdict == VERDICT_MISSING]
+
+    @property
     def worst_tightness(self) -> Optional[float]:
         vals = [r.tightness for r in self.rows if r.tightness is not None]
         return max(vals) if vals else None
@@ -138,7 +151,7 @@ def validate_network(
     result = simulate_token_bus(network, horizon, traffic, config)
     rows = []
     for sr in analysis.per_stream:
-        key = f"{sr.master}/{sr.stream.name}"
+        key = stream_key(sr.master, sr.stream.name)
         stats = result.streams.get(key)
         rows.append(
             ValidationRow(
@@ -149,6 +162,7 @@ def validate_network(
                 released=stats.released if stats else 0,
                 unfinished=stats.unfinished if stats else 0,
                 pending_age=stats.max_pending_age if stats else 0,
+                missing=stats is None,
             )
         )
     return ValidationReport(

@@ -292,6 +292,237 @@ class TestCampaign:
         assert "generate_instance" in entry["repro"]
 
 
+class TestPerMasterRegime:
+    """The single-outstanding-request regime is a per-master property:
+    the §3/§4 queues are shared, so one backlogged stream (R + J > T)
+    floods the queue its neighbours wait in and their printed figures
+    stop being claims.  seed-0 multi-master-ring #1536 is the concrete
+    instance a 2000-budget campaign trips over: M1/m0s0 has R=28696 but
+    T=5088, and its FCFS queue-mate m0s1 — individually in regime —
+    observes ~35128 > bound 28696."""
+
+    def test_backlogged_queue_mate_is_not_a_false_positive(self):
+        net = generate_instance(0, "multi-master-ring", 1536)
+        from repro.profibus.ttr import analyse
+
+        a = analyse(net, "fcfs")
+        by_name = {f"{sr.master}/{sr.stream.name}": sr for sr in a.per_stream}
+        hog, mate = by_name["M1/m0s0"], by_name["M1/m0s1"]
+        assert hog.R + hog.stream.J > hog.stream.T  # out of regime
+        assert mate.R + mate.stream.J <= mate.stream.T  # in regime alone
+        out = check_soundness(net, "fcfs", seed=0)
+        assert out.status == "ok", out.detail
+
+    def test_fully_in_regime_master_still_checked(self):
+        # the per-master filter must not blanket-skip healthy masters:
+        # a clean instance keeps producing decisive ok rows
+        net = generate_instance(0, "tight-ttr", 0)
+        out = check_soundness(net, "dm", seed=0)
+        assert out.status == "ok"
+
+
+class TestHorizonAutoExtension:
+    """The `incomplete`-verdict skip is now a geometric retry: a horizon
+    that starts too short (capped) must be extended until the simulation
+    produces a decisive answer, and only an exhausted retry budget is
+    recorded as a (tracked) skip."""
+
+    def test_capped_horizon_extends_to_checked_row(self):
+        net = generate_instance(0, "multi-master-ring", 0)
+        out = check_soundness(net, "dm", seed=0, horizon_cap=2_000,
+                              max_extensions=12)
+        assert out.status == "ok"
+        assert out.extensions > 0  # the cap really was too short
+
+    def test_exhausted_budget_is_a_tracked_skip(self):
+        net = generate_instance(0, "multi-master-ring", 0)
+        out = check_soundness(net, "dm", seed=0, horizon_cap=2_000,
+                              max_extensions=0)
+        assert out.status == "skipped"
+        assert "incomplete" in out.detail
+
+    def test_extension_result_matches_unconstrained_run(self):
+        # the extended run must reach the same verdict the generous
+        # default horizon reaches directly
+        net = generate_instance(0, "jitter-heavy", 1)
+        direct = check_soundness(net, "edf", seed=0)
+        extended = check_soundness(net, "edf", seed=0, horizon_cap=4_000,
+                                   max_extensions=14)
+        assert direct.status == extended.status == "ok"
+
+    def test_campaign_tracks_extensions(self):
+        result = run_campaign(CampaignConfig(
+            budget=6, seed=0, horizon_cap=2_000,
+            max_horizon_extensions=14,
+        ))
+        assert result.ok
+        sound = result.oracle_stats["soundness"]
+        assert sound["skipped"] == 0
+        assert sound["extended"] > 0
+        fam_extended = sum(
+            per["soundness"]["extended"]
+            for per in result.family_oracle_stats.values()
+        )
+        assert fam_extended == sound["extended"]
+
+
+class TestPooledCampaign:
+    def test_workers_match_serial(self):
+        serial = run_campaign(CampaignConfig(budget=12, seed=5, workers=1))
+        pooled = run_campaign(CampaignConfig(budget=12, seed=5, workers=2))
+        assert pooled.oracle_stats == serial.oracle_stats
+        assert pooled.family_oracle_stats == serial.family_oracle_stats
+        assert pooled.family_counts == serial.family_counts
+        assert pooled.ok and serial.ok
+
+    def test_pooled_failures_identical_to_serial(self, monkeypatch):
+        from repro.profibus import sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod, "_scale_deadlines",
+                            _truncating_scale_deadlines)
+        serial = run_campaign(CampaignConfig(budget=12, seed=0, workers=1,
+                                             shrink=False))
+        # pool children fork at submission time, so they inherit the
+        # monkeypatched sweep module and fail the same way
+        pooled = run_campaign(CampaignConfig(budget=12, seed=0, workers=2,
+                                             shrink=False))
+        assert not serial.ok and not pooled.ok
+        assert pooled.oracle_stats == serial.oracle_stats
+        assert [(ce.oracle, ce.family, ce.index, ce.detail)
+                for ce in pooled.counterexamples] == \
+               [(ce.oracle, ce.family, ce.index, ce.detail)
+                for ce in serial.counterexamples]
+
+
+class TestCheckpointResume:
+    def _config(self, path, **kw):
+        return CampaignConfig(budget=18, seed=3,
+                              checkpoint=str(path / "ck.jsonl"), **kw)
+
+    def test_fresh_run_writes_header_and_rows(self, tmp_path):
+        result = run_campaign(self._config(tmp_path))
+        assert result.resumed_instances == 0
+        lines = [json.loads(l) for l in
+                 (tmp_path / "ck.jsonl").read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        assert lines[0]["seed"] == 3
+        rows = [l for l in lines if l["kind"] == "row"]
+        assert {r["index"] for r in rows} == set(range(18))
+
+    def test_killed_then_resumed_matches_uninterrupted(self, tmp_path):
+        from repro.fuzz import report_to_dict
+
+        full = run_campaign(self._config(tmp_path))
+        ck = tmp_path / "ck.jsonl"
+        lines = ck.read_text().splitlines()
+        # "kill" the campaign: header + 7 rows, the 8th cut mid-write
+        ck.write_text("\n".join(lines[:8]) + "\n" + lines[8][:25])
+        resumed = run_campaign(self._config(tmp_path))
+        assert resumed.resumed_instances == 7
+        assert resumed.oracle_stats == full.oracle_stats
+        assert resumed.family_oracle_stats == full.family_oracle_stats
+        timing_fields = ("created_unix", "timings", "elapsed_seconds",
+                         "config", "resumed_instances")
+        full_doc = report_to_dict(full)
+        resumed_doc = report_to_dict(resumed)
+        for key in timing_fields:
+            full_doc.pop(key), resumed_doc.pop(key)
+        assert resumed_doc == full_doc
+
+    def test_mismatched_header_rejected(self, tmp_path):
+        run_campaign(self._config(tmp_path))
+        with pytest.raises(ValueError):
+            run_campaign(CampaignConfig(budget=18, seed=4,  # different seed
+                                        checkpoint=str(tmp_path / "ck.jsonl")))
+
+    def test_resume_with_different_workers_is_allowed(self, tmp_path):
+        full = run_campaign(self._config(tmp_path, workers=1))
+        ck = tmp_path / "ck.jsonl"
+        lines = ck.read_text().splitlines()
+        ck.write_text("\n".join(lines[:10]) + "\n")
+        resumed = run_campaign(self._config(tmp_path, workers=2))
+        assert resumed.resumed_instances == 9
+        assert resumed.oracle_stats == full.oracle_stats
+
+    def test_double_kill_keeps_all_progress(self, tmp_path):
+        # Regression: resuming used to append straight after a torn
+        # trailing line, fusing the first new record into unparseable
+        # JSON — a second interruption then lost everything after the
+        # first kill point.  The torn line must be truncated away so
+        # every resume leg starts on a fresh line.
+        full = run_campaign(self._config(tmp_path))
+        ck = tmp_path / "ck.jsonl"
+        lines = ck.read_text().splitlines()
+        # first kill: header + 4 rows, 5th torn mid-write
+        ck.write_text("\n".join(lines[:5]) + "\n" + lines[5][:30])
+        mid = run_campaign(self._config(tmp_path))
+        assert mid.resumed_instances == 4
+        # second kill: tear the now-rewritten file again, later on
+        lines2 = ck.read_text().splitlines()
+        assert all(json.loads(l) for l in lines2)  # no fused garbage
+        ck.write_text("\n".join(lines2[:12]) + "\n" + lines2[12][:17])
+        final = run_campaign(self._config(tmp_path))
+        assert final.resumed_instances == 11  # progress past the 1st kill
+        assert final.oracle_stats == full.oracle_stats
+        assert final.family_oracle_stats == full.family_oracle_stats
+
+    def test_completed_checkpoint_reruns_nothing(self, tmp_path):
+        full = run_campaign(self._config(tmp_path))
+        again = run_campaign(self._config(tmp_path))
+        assert again.resumed_instances == 18
+        assert again.oracle_stats == full.oracle_stats
+
+
+class TestRedescribePolicies:
+    def test_kernel_redescription_uses_campaign_policies(self, monkeypatch):
+        """Satellite fix: the shrunk-counterexample detail for the kernel
+        oracle must be computed against the campaign's policy set, not
+        DEFAULT_POLICIES — the two can disagree under --policies."""
+        from repro.fuzz import campaign as campaign_mod
+
+        seen = {}
+
+        def recording_check(network, policies=("SENTINEL",)):
+            seen["policies"] = tuple(policies)
+            from repro.fuzz.oracles import OracleOutcome
+
+            return OracleOutcome("fail", "kernel detail on shrunk")
+
+        monkeypatch.setattr(campaign_mod, "check_kernel_equivalence",
+                            recording_check)
+        config = CampaignConfig(budget=1, seed=0, policies=("dm",))
+        failure = campaign_mod._Failure(
+            oracle=campaign_mod.ORACLE_KERNEL, family="tight-ttr", index=0,
+            policy=None, factor=None, detail="original",
+        )
+        net = generate_instance(0, "tight-ttr", 0)
+        detail = campaign_mod._redescribe(failure, net, config)
+        assert detail == "kernel detail on shrunk"
+        assert seen["policies"] == ("dm",)
+
+    def test_kernel_shrink_predicate_uses_campaign_policies(self, monkeypatch):
+        from repro.fuzz import campaign as campaign_mod
+
+        seen = []
+
+        def recording_check(network, policies=("SENTINEL",)):
+            seen.append(tuple(policies))
+            from repro.fuzz.oracles import OracleOutcome
+
+            return OracleOutcome("ok")
+
+        monkeypatch.setattr(campaign_mod, "check_kernel_equivalence",
+                            recording_check)
+        config = CampaignConfig(budget=1, seed=0, policies=("edf", "dm"))
+        failure = campaign_mod._Failure(
+            oracle=campaign_mod.ORACLE_KERNEL, family="tight-ttr", index=0,
+            policy=None, factor=None, detail="original",
+        )
+        predicate = campaign_mod._predicate_for(failure, config)
+        predicate(generate_instance(0, "tight-ttr", 0))
+        assert seen == [("edf", "dm")]
+
+
 class TestCliFuzz:
     def test_clean_run_exit_zero(self, capsys, tmp_path):
         out_path = tmp_path / "FUZZ_report.json"

@@ -2,15 +2,21 @@
 
 import json
 import pickle
+from dataclasses import replace
+from functools import partial
 
 import pytest
 
 from repro.gen import random_network
 from repro.perf.batch import (
     BatchResult,
+    _analyse_pair,
+    _point_seed,
     acceptance_curve,
     analyse_many,
     generate_networks,
+    pooled_imap,
+    pooled_map,
 )
 from repro.perf.bench import SCHEMA, format_report, run_benchmark, write_benchmark
 from repro.perf.config import fast_path_disabled
@@ -68,6 +74,52 @@ class TestAnalyseMany:
         assert {r.policy for r in rows} == {"dm"}
 
 
+def _with_float_jitter(net):
+    """One stream gets a float ``J``: ``stream_specs`` refuses non-int
+    attributes, so fast-mode analysis takes the generic fallback."""
+    from repro.profibus.network import Network
+
+    m0 = net.masters[0]
+    streams = [replace(m0.streams[0], J=1.0)] + list(m0.streams[1:])
+    return Network(masters=(m0.with_streams(streams),) + net.masters[1:],
+                   slaves=net.slaves, phy=net.phy, ttr=net.ttr)
+
+
+class TestPooledMap:
+    def test_matches_serial_and_preserves_order(self):
+        jobs = list(enumerate(small_workload(n=8)))
+        fn = partial(_analyse_pair, policies=("dm", "edf"))
+        serial = pooled_map(fn, jobs, workers=1)
+        pooled = pooled_map(fn, jobs, workers=2, chunksize=2)
+        assert pooled == serial
+        assert [rows[0].index for rows in pooled] == list(range(8))
+
+    def test_imap_streams_in_order(self):
+        jobs = list(enumerate(small_workload(n=6)))
+        fn = partial(_analyse_pair, policies=("dm",))
+        seen = [rows[0].index
+                for rows in pooled_imap(fn, jobs, workers=2, chunksize=1)]
+        assert seen == list(range(6))
+
+    def test_generic_fallback_counted_in_generic_bucket(self):
+        # Regression: workers used to report fast+generic as one number
+        # and the parent folded it all into the fast bucket, crediting
+        # generic-fallback iterations inside fast-mode workers as fast.
+        from repro.perf.stats import counters
+
+        nets = small_workload(n=8)
+        nets[0] = _with_float_jitter(nets[0])
+        counters.reset()
+        pooled = analyse_many(nets, workers=2, chunksize=2)
+        pooled_split = (counters.fast, counters.generic)
+        assert pooled_split[0] > 0
+        assert pooled_split[1] > 0  # the float-jitter network's iterations
+        counters.reset()
+        serial = analyse_many(nets, workers=1)
+        assert pooled == serial
+        assert (counters.fast, counters.generic) == pooled_split
+
+
 class TestGenerateNetworks:
     def test_reproducible(self):
         a = generate_networks(5, seed=11)
@@ -109,6 +161,20 @@ class TestAcceptanceCurve:
         assert acceptance_curve((0.5,), 5, seed=7) == acceptance_curve(
             (0.5,), 5, seed=7
         )
+
+    def test_fine_grid_points_get_distinct_workloads(self):
+        # Regression: `seed * 1_000_003 + int(x * 1000)` collided for
+        # tightness levels agreeing to three decimals, feeding 0.2 and
+        # 0.2004 identical workloads on fine grids.
+        a, b = _point_seed(0, 0.2), _point_seed(0, 0.2004)
+        assert a != b
+        assert generate_networks(3, seed=a) != generate_networks(3, seed=b)
+
+    def test_point_seed_injective_across_campaign_seeds(self):
+        # the old mix also collided across (seed, level) pairs:
+        # seed=0/x=1.0 vs seed=1/x=-... ; string encoding cannot
+        assert _point_seed(1, 0.2) != _point_seed(0, 0.2)
+        assert _point_seed(0, 1.0) != _point_seed(0, 1.0004)
 
 
 class TestBenchmark:

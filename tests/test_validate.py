@@ -131,6 +131,56 @@ class TestUnfinishedReleases:
             assert r.released >= r.completed
             assert r.verdict == "sound"
 
+
+class TestMissingStreams:
+    """Regression: an analysis stream absent from the simulation results
+    (a key mismatch between the layers) used to get ``released=0`` and a
+    vacuous ``sound`` verdict."""
+
+    def test_row_missing_verdict(self):
+        from repro.sim.validate import VERDICT_MISSING, ValidationRow
+
+        row = ValidationRow("M1/s0", bound=100, observed=0, completed=0,
+                            missing=True)
+        assert row.verdict == VERDICT_MISSING
+        assert not row.sound
+        # missing wins even where no bound is claimed: the harness is
+        # broken either way
+        row = ValidationRow("M1/s0", bound=None, observed=0, completed=0,
+                            missing=True)
+        assert row.verdict == VERDICT_MISSING
+
+    def test_validate_network_flags_absent_stream(self, single_master,
+                                                  monkeypatch):
+        from repro.sim import validate as validate_mod
+        from repro.sim.token import simulate_token_bus
+
+        real = simulate_token_bus
+
+        def dropping_sim(network, horizon, traffic=None, config=None,
+                         ttr=None):
+            result = real(network, horizon, traffic, config, ttr)
+            key = next(iter(result.streams))
+            del result.streams[key]  # simulate a naming mismatch
+            return result
+
+        monkeypatch.setattr(validate_mod, "simulate_token_bus", dropping_sim)
+        rep = validate_mod.validate_network(single_master, "dm",
+                                            horizon=1_000_000)
+        assert len(rep.missing_rows) == 1
+        assert not rep.all_sound
+        missing = rep.missing_rows[0]
+        assert missing.released == 0 and missing.completed == 0
+
+    def test_all_streams_present_has_no_missing_rows(self, single_master):
+        from repro.sim import validate_network
+
+        rep = validate_network(single_master, "dm", horizon=1_000_000)
+        assert rep.missing_rows == []
+        assert all(not r.missing for r in rep.rows)
+
+
+class TestUniprocUnfinished:
     def test_uniproc_unfinished_detected(self):
         from repro.core import Task, TaskSet
 
