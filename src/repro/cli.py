@@ -38,17 +38,30 @@ _SCENARIOS: Dict[str, Callable] = {
 
 
 def _load_network(args):
+    # An unknown --scenario is reported (with the valid choices) before
+    # any other argument is processed — in particular before a --file is
+    # opened, so a typo'd scenario never turns into a confusing
+    # file-related error downstream.
+    scenario = getattr(args, "scenario", None)
+    if scenario is not None and scenario not in _SCENARIOS:
+        raise SystemExit(
+            f"unknown scenario {scenario!r}; pick from {sorted(_SCENARIOS)}"
+        )
     if getattr(args, "file", None):
-        from .profibus.serialization import load_network
+        from .profibus.serialization import ScenarioFormatError, load_network
 
-        net = load_network(args.file)
-    else:
         try:
-            net = _SCENARIOS[args.scenario]()
-        except KeyError:
+            net = load_network(args.file)
+        except OSError as exc:
+            raise SystemExit(f"cannot read scenario file {args.file}: {exc}")
+        except ScenarioFormatError as exc:
+            raise SystemExit(f"bad scenario file {args.file}: {exc}")
+    else:
+        if scenario is None:
             raise SystemExit(
-                f"unknown scenario {args.scenario!r}; pick from {sorted(_SCENARIOS)}"
+                f"need --scenario or --file; scenarios: {sorted(_SCENARIOS)}"
             )
+        net = _SCENARIOS[scenario]()
     if getattr(args, "ttr", None):
         net = net.with_ttr(args.ttr)
     return net
@@ -220,6 +233,7 @@ def _cmd_fuzz(args) -> int:
         checkpoint=args.checkpoint,
         max_counterexamples=args.max_counterexamples,
         shrink=not args.no_shrink,
+        corpus_dir=args.promote_corpus,
     )
     result = run_campaign(config)
     t = result.timings
@@ -255,9 +269,17 @@ def _cmd_fuzz(args) -> int:
               f"{ce.detail}")
         print(f"    shrunk to {masters} master(s) / {streams} stream(s): "
               f"{ce.shrunk_detail}")
+    for entry_id in result.promoted_entries:
+        print(f"  promoted to corpus: {entry_id}")
+    for entry_id in result.promotion_skipped:
+        print(f"  already in corpus: {entry_id}")
+    for entry_id, error in result.promotion_errors:
+        print(f"  NOT PROMOTABLE {entry_id}: {error}")
     path = write_report(result, args.out)
     print(f"wrote {path}")
-    return 0 if result.ok else 1
+    # A counterexample that cannot be frozen into the corpus is its own
+    # failure: the regression would be lost the moment the seed moves.
+    return 0 if result.ok and not result.promotion_errors else 1
 
 
 def _cmd_export(args) -> int:
@@ -269,6 +291,142 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_corpus_record(args) -> int:
+    from .corpus import store
+
+    if args.seed_defaults:
+        if (args.update or args.scenario or args.file or args.id
+                or args.ttr or args.corpus_file):
+            # refusing beats half-executing: "--seed-defaults --update"
+            # would rewrite the seed files and silently leave e.g.
+            # promoted.jsonl unrefrozen while exiting 0, and a --ttr
+            # override is never applied to the seeds
+            raise SystemExit(
+                "corpus record: --seed-defaults cannot be combined with "
+                "--update/--scenario/--file/--id/--ttr/--corpus-file"
+            )
+        try:
+            ids = store.write_seed_corpus(args.dir)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        for entry_id in ids:
+            print(f"  recorded {entry_id}")
+        print(f"wrote {len(ids)} seeded entries under {args.dir}/")
+        return 0
+    if args.file or args.scenario:
+        net = _load_network(args)
+        if args.id:
+            entry_id = args.id
+        elif args.scenario:
+            entry_id = f"scenario:{args.scenario}"
+        else:
+            from pathlib import Path
+
+            entry_id = f"file:{Path(args.file).stem}"
+        provenance = {
+            "source": "scenario" if args.scenario else "file",
+            "scenario": args.scenario,
+            "file": args.file,
+        }
+        config = None
+        if args.update:
+            # refreezing an existing entry keeps its pinned config and
+            # provenance (a short-horizon entry must not silently revert
+            # to derived defaults and stop testing what it pins)
+            try:
+                existing = {e.entry_id: e
+                            for e in store.load_corpus(args.dir)}
+            except ValueError:
+                existing = {}
+            old = existing.get(entry_id)
+            if old is not None:
+                config = old.config
+                provenance = old.provenance
+        filename = args.corpus_file or "local.jsonl"
+        try:
+            entry = store.record_network(net, entry_id, provenance,
+                                         config=config)
+            store.append_entry(args.dir, filename, entry,
+                               update=args.update)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print(f"recorded {entry_id} -> {args.dir}/{filename}")
+        return 0
+    if args.update:
+        if args.id or args.ttr or args.corpus_file:
+            raise SystemExit(
+                "corpus record: --update without --scenario/--file "
+                "refreezes the whole corpus and takes no "
+                "--id/--ttr/--corpus-file; to refreeze one entry, name "
+                "its source: --update --scenario X --id ID"
+            )
+        try:
+            ids = store.refreeze_corpus(args.dir)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        for entry_id in ids:
+            print(f"  refroze {entry_id}")
+        print(f"refroze {len(ids)} entries under {args.dir}/")
+        return 0
+    raise SystemExit(
+        "corpus record: pass --seed-defaults, --scenario/--file, or "
+        "--update (refreeze all)"
+    )
+
+
+def _cmd_corpus_check(args) -> int:
+    from .corpus import store
+
+    try:
+        report = store.check_corpus(args.dir, entry_ids=args.entry or None)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    for line in report.format_lines(verbose=args.verbose):
+        print(line)
+    return 0 if report.ok else 1
+
+
+def _cmd_corpus_promote(args) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from .corpus import store
+
+    try:
+        doc = json_mod.loads(Path(args.report).read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read fuzz report {args.report}: {exc}")
+    except json_mod.JSONDecodeError as exc:
+        raise SystemExit(f"bad fuzz report {args.report}: {exc}")
+    try:
+        result = store.promote_report_doc(doc, args.dir)
+    except ValueError as exc:
+        raise SystemExit(f"bad fuzz report {args.report}: {exc}")
+    for entry_id in result.added:
+        print(f"  promoted {entry_id}")
+    for entry_id in result.skipped:
+        print(f"  already present {entry_id}")
+    for entry_id, error in result.errors:
+        print(f"  NOT PROMOTABLE {entry_id}: {error}")
+    print(f"corpus promote: {len(result.added)} added, "
+          f"{len(result.skipped)} skipped, {len(result.errors)} errors")
+    return 0 if result.ok else 1
+
+
+def _cmd_corpus_mutants(args) -> int:
+    from .corpus import mutants as mutants_mod
+
+    try:
+        report = mutants_mod.run_mutation_harness(
+            args.dir, mutant_names=args.mutant or None
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    for line in report.format_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="profibus-rt",
@@ -278,11 +436,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p, policy=True):
-        p.add_argument("--scenario", default="factory-cell",
-                       choices=sorted(_SCENARIOS))
-        p.add_argument("--file", default=None, metavar="SCENARIO.json",
-                       help="load the network from a scenario file "
-                            "instead of --scenario")
+        source = p.add_mutually_exclusive_group()
+        source.add_argument("--scenario", default="factory-cell",
+                            choices=sorted(_SCENARIOS))
+        source.add_argument("--file", default=None, metavar="SCENARIO.json",
+                            help="load the network from a scenario file "
+                                 "instead of --scenario")
         p.add_argument("--ttr", type=int, default=None,
                        help="override the scenario TTR (bit times)")
         p.add_argument("--refined", action="store_true",
@@ -397,9 +556,87 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop collecting/shrinking after this many failures")
     p.add_argument("--no-shrink", action="store_true",
                    help="report raw counterexamples without minimisation")
+    p.add_argument("--promote-corpus", default=None, metavar="DIR",
+                   help="promote every shrunk counterexample into this "
+                        "golden-corpus directory at campaign end")
     p.add_argument("--out", default="FUZZ_report.json",
                    help="output JSON path")
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "corpus",
+        help="golden regression corpus: record/check/diff/promote/mutants",
+    )
+    csub = p.add_subparsers(dest="corpus_command", required=True)
+
+    def add_corpus_dir(cp):
+        cp.add_argument("--dir", default="corpus",
+                        help="corpus directory of *.jsonl entry files "
+                             "(default: corpus/)")
+
+    cp = csub.add_parser(
+        "record",
+        help="freeze golden results (seed defaults, one network, or "
+             "refreeze all)",
+    )
+    add_corpus_dir(cp)
+    cp.add_argument("--seed-defaults", action="store_true",
+                    help="(re)write the seeded corpus: built-in scenarios "
+                         "+ one exemplar per fuzz family")
+    cp.add_argument("--update", action="store_true",
+                    help="refreeze existing entries (after an intentional "
+                         "analytic change)")
+    source = cp.add_mutually_exclusive_group()
+    source.add_argument("--scenario", default=None,
+                        choices=sorted(_SCENARIOS))
+    source.add_argument("--file", default=None, metavar="SCENARIO.json")
+    cp.add_argument("--ttr", type=int, default=None)
+    cp.add_argument("--id", default=None,
+                    help="entry id (default: derived from the source)")
+    cp.add_argument("--corpus-file", default=None, metavar="NAME.jsonl",
+                    help="corpus file new entries are appended to "
+                         "(default: local.jsonl)")
+    cp.set_defaults(func=_cmd_corpus_record)
+
+    cp = csub.add_parser(
+        "check",
+        help="recompute every golden section and compare bit-exactly",
+    )
+    add_corpus_dir(cp)
+    cp.add_argument("--entry", nargs="*", default=None, metavar="ID",
+                    help="restrict to these entry ids")
+    cp.add_argument("--verbose", action="store_true",
+                    help="print the first diverging value per mismatch")
+    cp.set_defaults(func=_cmd_corpus_check)
+
+    cp = csub.add_parser(
+        "diff",
+        help="corpus check with full per-section divergence details",
+    )
+    add_corpus_dir(cp)
+    cp.add_argument("--entry", nargs="*", default=None, metavar="ID")
+    # diff IS check with the divergence details always on
+    cp.set_defaults(func=_cmd_corpus_check, verbose=True)
+
+    cp = csub.add_parser(
+        "promote",
+        help="freeze every shrunk counterexample of a FUZZ_report.json "
+             "into the corpus",
+    )
+    add_corpus_dir(cp)
+    cp.add_argument("--report", default="FUZZ_report.json",
+                    help="fuzz report to promote counterexamples from")
+    cp.set_defaults(func=_cmd_corpus_promote)
+
+    cp = csub.add_parser(
+        "mutants",
+        help="mutation-strength harness: inject known-bad analysis "
+             "variants, assert corpus check kills each",
+    )
+    add_corpus_dir(cp)
+    cp.add_argument("--mutant", nargs="*", default=None, metavar="NAME",
+                    help="restrict to these mutants (default: all)")
+    cp.set_defaults(func=_cmd_corpus_mutants)
 
     p = sub.add_parser("trace", help="simulate and render an ASCII bus timeline")
     add_common(p)

@@ -1,0 +1,387 @@
+"""Mutation-strength harness: can the corpus actually kill bugs?
+
+A golden corpus is only as good as its killing power.  This module
+keeps a catalogue of **known-bad analysis variants** — each one a
+historically plausible regression (several literally happened in this
+repo's history, several are the classic published mistakes the paper's
+own analysis corrects) — and injects them through the same late-bound
+module seams :mod:`repro.corpus.golden` computes through.  The harness
+then asserts that ``corpus check`` *fails* under every mutant: a mutant
+that survives marks a blind spot the corpus must grow an entry for.
+
+Catalogue (each entry names the layer it corrupts):
+
+* ``dm-dropped-blocking`` — eq. (16) without the ``B_i`` term (the
+  lower-priority just-staged request is free).
+* ``dm-single-instance-busy-period`` — only the first instance of the
+  level-i busy period is examined (the pre-Davis-2007 unsoundness the
+  multi-instance correction in ``rta_fixed`` exists for).
+* ``dm-stale-interference-cache`` — the per-master response-row memo
+  ignores its ``Tcycle`` key and serves the previous analysis' rows.
+* ``fcfs-queue-undercount`` — eq. (11) with ``(nh−1)·Tcycle``.
+* ``edf-blocking-subtract-one`` — eqs. (17)–(18) with the ``C−1``
+  blocking refinement the paper's transfer explicitly does not use.
+* ``tdel-drops-overrunner`` — eq. (13) missing its largest per-master
+  cycle term.
+* ``sweep-truncated-deadline-scale`` — ``_scale_deadlines`` truncates
+  instead of rounding (the PR 3 regression).
+* ``csv-drops-header`` — ``rows_to_csv`` stops emitting the header row.
+* ``serialization-drops-jitter`` — ``network_to_dict`` silently loses
+  non-zero ``J`` fields.
+* ``validate-ignores-pending`` — ``effective_observed`` ignores
+  pending-request age (the vacuous-pass hole PR 3 closed).
+
+Mutants patch module attributes inside a context manager and restore
+them afterwards, so the harness leaves the process clean even on error.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from pathlib import Path
+
+
+@contextmanager
+def _patched(*patches: Tuple[Any, str, Any]) -> Iterator[None]:
+    """Temporarily set attributes (or dict entries) on modules/classes:
+    each patch is ``(target, name, replacement)``; a ``dict`` target is
+    patched by key."""
+    saved: List[Tuple[Any, str, Any]] = []
+    try:
+        for target, name, replacement in patches:
+            if isinstance(target, dict):
+                saved.append((target, name, target[name]))
+                target[name] = replacement
+            else:
+                saved.append((target, name, getattr(target, name)))
+                setattr(target, name, replacement)
+        yield
+    finally:
+        for target, name, original in reversed(saved):
+            if isinstance(target, dict):
+                target[name] = original
+            else:
+                setattr(target, name, original)
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One known-bad analysis variant."""
+
+    name: str
+    description: str
+    #: which golden section(s) are expected to kill it (documentation;
+    #: the harness accepts a kill from any section)
+    expected_killers: Tuple[str, ...]
+    #: zero-arg factory returning the active patch context manager
+    apply: Callable[[], Any]
+
+
+# ------------------------------------------------------------ DM mutants
+
+def _dm_dropped_blocking():
+    from ..core import rta_fixed
+
+    def no_blocking(taskset, task, subtract_one=False):
+        return 0
+
+    return _patched((rta_fixed, "nonpreemptive_blocking", no_blocking))
+
+
+def _dm_single_instance():
+    from ..core import rta_fixed
+    from ..core.results import ResponseTime
+    from ..profibus import dm as dm_mod
+
+    def first_instance_only(taskset, task, strict_start=True,
+                            max_instances=100_000):
+        solved = rta_fixed.nonpreemptive_start_time(
+            taskset, task, strict_start=strict_start, instance=0
+        )
+        if solved is None:
+            return ResponseTime(task=task, value=None)
+        w, its = solved
+        r = w + task.C
+        if r + task.J > task.D:
+            return ResponseTime(task=task, value=None, iterations=its)
+        return ResponseTime(task=task, value=r + task.J, iterations=its)
+
+    return _patched(
+        (dm_mod, "nonpreemptive_response_time", first_instance_only)
+    )
+
+
+def _dm_stale_cache():
+    from ..perf.config import fast_path_enabled
+    from ..profibus import dm as dm_mod
+    from ..profibus.network import master_memo
+
+    original = dm_mod.dm_response_times
+
+    def stale_dm_response_times(master, tc):
+        if fast_path_enabled():
+            memo = master_memo(master)
+            entry = memo.get("dm_rows")
+            if entry is not None:  # BUG: the Tcycle key is never checked
+                return list(entry[1])
+        # cache miss: the real implementation computes and stores the
+        # (tc, rows) slot this wrapper will then serve stale
+        return original(master, tc)
+
+    return _patched((dm_mod, "dm_response_times", stale_dm_response_times))
+
+
+# ---------------------------------------------------- FCFS / EDF mutants
+
+def _fcfs_undercount():
+    from ..profibus import fcfs as fcfs_mod
+    from ..profibus import ttr as ttr_mod
+    from ..profibus.results import NetworkAnalysis, StreamResponse
+    from ..profibus.timing import tcycle as compute_tcycle
+
+    def undercounting_fcfs_analysis(network, ttr=None, refined=False):
+        if ttr is None:
+            ttr = network.require_ttr()
+        tc = compute_tcycle(network, ttr, refined=refined)
+        per_stream = []
+        phy = network.phy
+        for master in network.masters:
+            r = max(0, master.nh - 1) * tc  # BUG: own request not counted
+            per_stream.extend(
+                StreamResponse(master=master.name, stream=s, R=r,
+                               Q=r - s.cycle_bits(phy))
+                for s in master.high_streams
+            )
+        return NetworkAnalysis(policy="fcfs", ttr=ttr, tcycle=tc,
+                               per_stream=tuple(per_stream),
+                               detail={"refined": refined})
+
+    return _patched(
+        (fcfs_mod, "fcfs_analysis", undercounting_fcfs_analysis),
+        (ttr_mod._POLICIES, "fcfs", undercounting_fcfs_analysis),
+    )
+
+
+def _edf_subtract_one():
+    from ..profibus import edf as edf_mod
+
+    original = edf_mod.edf_response_time
+
+    def subtracting_edf_response_time(taskset, task, preemptive=True,
+                                      limit_factor=4,
+                                      blocking_subtract_one=True):
+        return original(
+            taskset, task, preemptive=preemptive, limit_factor=limit_factor,
+            blocking_subtract_one=True,  # BUG: forces the C−1 refinement
+        )
+
+    return _patched(
+        (edf_mod, "edf_response_time", subtracting_edf_response_time)
+    )
+
+
+# ------------------------------------------------------- timing mutants
+
+def _tdel_drops_overrunner():
+    from ..profibus import timing as timing_mod
+
+    def tdel_missing_overrunner(network):
+        phy = network.phy
+        cms = [timing_mod.longest_cycle(m, phy) for m in network.masters]
+        return sum(cms) - max(cms) if cms else 0  # BUG: drops max term
+
+    return _patched((timing_mod, "tdel", tdel_missing_overrunner))
+
+
+# ------------------------------------------------ sweep / serialization
+
+def _sweep_truncates():
+    from ..profibus import sweep as sweep_mod
+    from ..profibus.network import Network
+
+    def truncating_scale_deadlines(network, factor):
+        masters = []
+        for m in network.masters:
+            streams = [
+                s.with_deadline(max(1, min(s.T, int(s.D * factor))))  # BUG
+                for s in m.streams
+            ]
+            masters.append(m.with_streams(streams))
+        return Network(masters=tuple(masters), slaves=network.slaves,
+                       phy=network.phy, ttr=network.ttr)
+
+    return _patched((sweep_mod, "_scale_deadlines",
+                     truncating_scale_deadlines))
+
+
+def _csv_drops_header():
+    from ..profibus import sweep as sweep_mod
+
+    original = sweep_mod.rows_to_csv
+
+    def headerless_rows_to_csv(rows):
+        csv = original(rows)
+        return csv.split("\n", 1)[1] if "\n" in csv else csv  # BUG
+
+    return _patched((sweep_mod, "rows_to_csv", headerless_rows_to_csv))
+
+
+def _serialization_drops_jitter():
+    from ..profibus import serialization as serialization_mod
+
+    original = serialization_mod.network_to_dict
+
+    def jitterless_network_to_dict(network):
+        doc = original(network)
+        for master in doc["masters"]:
+            for stream in master["streams"]:
+                stream.pop("J", None)  # BUG: jitter silently lost
+        return doc
+
+    return _patched(
+        (serialization_mod, "network_to_dict", jitterless_network_to_dict)
+    )
+
+
+# ----------------------------------------------------------- sim mutant
+
+def _validate_ignores_pending():
+    from ..sim import validate as validate_mod
+
+    return _patched((
+        validate_mod.ValidationRow, "effective_observed",
+        property(lambda self: self.observed),  # BUG: pending age ignored
+    ))
+
+
+MUTANTS: Dict[str, Mutant] = {
+    m.name: m
+    for m in (
+        Mutant("dm-dropped-blocking",
+               "eq. (16) without the lower-priority blocking term B_i",
+               ("analysis",), _dm_dropped_blocking),
+        Mutant("dm-single-instance-busy-period",
+               "only instance q=0 of the level-i busy period examined "
+               "(pre-Davis-2007)",
+               ("analysis",), _dm_single_instance),
+        Mutant("dm-stale-interference-cache",
+               "per-master DM row memo ignores its Tcycle key",
+               ("analysis",), _dm_stale_cache),
+        Mutant("fcfs-queue-undercount",
+               "eq. (11) computed as (nh-1)*Tcycle",
+               ("analysis",), _fcfs_undercount),
+        Mutant("edf-blocking-subtract-one",
+               "eqs. (17)-(18) with the C-1 blocking refinement",
+               ("analysis",), _edf_subtract_one),
+        Mutant("tdel-drops-overrunner",
+               "eq. (13) missing its largest per-master cycle term",
+               ("analysis", "sweep", "validation"), _tdel_drops_overrunner),
+        Mutant("sweep-truncated-deadline-scale",
+               "_scale_deadlines truncates instead of rounding",
+               ("sweep",), _sweep_truncates),
+        Mutant("csv-drops-header",
+               "rows_to_csv stops emitting the header row",
+               ("sweep",), _csv_drops_header),
+        Mutant("serialization-drops-jitter",
+               "network_to_dict silently drops non-zero J fields",
+               ("roundtrip",), _serialization_drops_jitter),
+        Mutant("validate-ignores-pending",
+               "effective_observed ignores pending-request age",
+               ("validation",), _validate_ignores_pending),
+    )
+}
+
+
+@dataclass(frozen=True)
+class MutantOutcome:
+    mutant: str
+    killed: bool
+    #: first corpus entry whose check failed under the mutant
+    killed_by_entry: Optional[str] = None
+    #: golden sections (or self-consistency oracles) that failed
+    killed_by_sections: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class MutationReport:
+    outcomes: List[MutantOutcome]
+    baseline_ok: bool
+
+    @property
+    def killed(self) -> int:
+        return sum(1 for o in self.outcomes if o.killed)
+
+    @property
+    def survivors(self) -> List[str]:
+        return [o.mutant for o in self.outcomes if not o.killed]
+
+    @property
+    def ok(self) -> bool:
+        return self.baseline_ok and not self.survivors
+
+    def format_lines(self) -> List[str]:
+        lines = []
+        if not self.baseline_ok:
+            lines.append("  BASELINE FAILED — corpus check must pass "
+                         "unmutated before kills mean anything")
+        for o in self.outcomes:
+            if o.killed:
+                sections = ", ".join(o.killed_by_sections)
+                lines.append(f"  killed    {o.mutant:<34} "
+                             f"by {o.killed_by_entry} [{sections}]")
+            else:
+                lines.append(f"  SURVIVED  {o.mutant:<34} "
+                             "— the corpus has a blind spot here")
+        lines.append(
+            f"mutation strength: {self.killed}/{len(self.outcomes)} "
+            f"mutants killed"
+        )
+        return lines
+
+
+def run_mutation_harness(
+    directory: Union[str, Path] = "corpus",
+    mutant_names: Optional[List[str]] = None,
+) -> MutationReport:
+    """Baseline-check the corpus, then inject each mutant and assert
+    ``corpus check`` kills it.
+
+    Each mutant's check short-circuits at the first failing section of
+    the first failing entry — one kill is enough evidence — so the
+    harness cost stays close to one full corpus check plus one partial
+    check per mutant.
+    """
+    from .store import check_corpus
+
+    if mutant_names is None:
+        mutants = list(MUTANTS.values())
+    else:
+        unknown = set(mutant_names) - set(MUTANTS)
+        if unknown:
+            raise ValueError(
+                f"unknown mutant(s) {sorted(unknown)}; "
+                f"pick from {sorted(MUTANTS)}"
+            )
+        mutants = [MUTANTS[name] for name in mutant_names]
+
+    baseline = check_corpus(directory)
+    outcomes: List[MutantOutcome] = []
+    for mutant in mutants:
+        with mutant.apply():
+            report = check_corpus(directory, fail_fast=True,
+                                  stop_on_first_failure=True)
+        failed = report.failed
+        if failed:
+            first = failed[0]
+            outcomes.append(MutantOutcome(
+                mutant=mutant.name,
+                killed=True,
+                killed_by_entry=first.entry_id,
+                killed_by_sections=tuple(s for s, _ in first.mismatches),
+            ))
+        else:
+            outcomes.append(MutantOutcome(mutant=mutant.name, killed=False))
+    return MutationReport(outcomes=outcomes, baseline_ok=baseline.ok)

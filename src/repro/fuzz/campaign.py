@@ -103,6 +103,11 @@ class CampaignConfig:
     max_counterexamples: int = 10
     shrink: bool = True
     shrink_evals: int = 250
+    #: golden-corpus directory; when set, every shrunk counterexample is
+    #: promoted into it at campaign end (``repro.corpus``).  Like
+    #: ``workers``, deliberately absent from the checkpoint fingerprint:
+    #: turning promotion on for a resumed campaign is a feature.
+    corpus_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.budget < 1:
@@ -154,6 +159,14 @@ class CampaignResult:
     timings: Dict[str, float]
     #: instances folded back from the checkpoint instead of re-run
     resumed_instances: int = 0
+    #: corpus entry ids frozen from the shrunk counterexamples (only
+    #: when ``config.corpus_dir`` is set)
+    promoted_entries: Tuple[str, ...] = ()
+    #: counterexamples already present in the corpus (idempotence)
+    promotion_skipped: Tuple[str, ...] = ()
+    #: ``(entry_id, error)`` for counterexamples that could not be
+    #: frozen — a non-promotable counterexample must fail the build
+    promotion_errors: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def elapsed_seconds(self) -> float:
@@ -475,6 +488,30 @@ def run_campaign(config: CampaignConfig = CampaignConfig()) -> CampaignResult:
             shrunk_detail=shrunk_detail,
         ))
     timings["shrink_seconds"] = time.perf_counter() - t0
+
+    # -- promote the shrunk counterexamples into the golden corpus ------
+    promoted: Tuple[str, ...] = ()
+    promotion_skipped: Tuple[str, ...] = ()
+    promotion_errors: Tuple[Tuple[str, str], ...] = ()
+    t0 = time.perf_counter()
+    if config.corpus_dir and counterexamples:
+        from ..corpus.store import promote_counterexamples
+
+        try:
+            promotion = promote_counterexamples(counterexamples,
+                                                config.corpus_dir)
+        except Exception as exc:
+            # A broken corpus directory must not discard the campaign
+            # result (hours of simulation) — surface it as a promotion
+            # error instead; the CLI exits non-zero on those.
+            promotion_errors = ((config.corpus_dir, str(exc)),)
+        else:
+            promoted = tuple(promotion.added)
+            promotion_skipped = tuple(promotion.skipped)
+            promotion_errors = tuple(promotion.errors)
+    # promotion recomputes full goldens (incl. a validation simulation
+    # per counterexample), so it is its own phase in the breakdown
+    timings["promotion_seconds"] = time.perf_counter() - t0
     timings["total_seconds"] = time.perf_counter() - start
 
     return CampaignResult(
@@ -486,6 +523,9 @@ def run_campaign(config: CampaignConfig = CampaignConfig()) -> CampaignResult:
         counterexamples=counterexamples,
         timings=timings,
         resumed_instances=resumed,
+        promoted_entries=promoted,
+        promotion_skipped=promotion_skipped,
+        promotion_errors=promotion_errors,
     )
 
 

@@ -62,9 +62,15 @@ def report_to_dict(result: CampaignResult) -> Dict[str, Any]:
             "checkpoint": cfg.checkpoint,
             "max_counterexamples": cfg.max_counterexamples,
             "shrink": cfg.shrink,
+            "corpus_dir": cfg.corpus_dir,
         },
         "instances": result.instances,
         "resumed_instances": result.resumed_instances,
+        "corpus_promotion": {
+            "added": list(result.promoted_entries),
+            "skipped": list(result.promotion_skipped),
+            "errors": [list(pair) for pair in result.promotion_errors],
+        },
         "families": dict(result.family_counts),
         "oracles": {k: dict(v) for k, v in result.oracle_stats.items()},
         "family_oracles": {

@@ -25,6 +25,7 @@ spreadsheet handoff.  Used by the CLI ``sweep`` subcommand.
 
 from __future__ import annotations
 
+import csv
 import dataclasses
 import io
 from dataclasses import dataclass
@@ -190,14 +191,16 @@ def baud_sweep(
 
 
 def rows_to_csv(rows: Sequence[SweepRow]) -> str:
-    """Render sweep rows as CSV (header + one line per row)."""
+    """Render sweep rows as CSV (header + one line per row).
+
+    ``None`` cells render empty; fields containing separators, quotes
+    or newlines are RFC 4180 quoted (stdlib :mod:`csv` semantics), so a
+    crafted parameter name can never shift columns in a spreadsheet
+    handoff."""
     out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
     fields = [f.name for f in dataclasses.fields(SweepRow)]
-    out.write(",".join(fields) + "\n")
+    writer.writerow(fields)
     for row in rows:
-        values = []
-        for f in fields:
-            v = getattr(row, f)
-            values.append("" if v is None else str(v))
-        out.write(",".join(values) + "\n")
+        writer.writerow([getattr(row, f) for f in fields])
     return out.getvalue()

@@ -117,6 +117,76 @@ class TestExportAndFile:
         assert "TTR=2000" in out
 
 
+class TestExitCodeMatrix:
+    """One row per failure mode: the CLI must exit with a *clean*
+    diagnostic and a documented code — argparse rejections exit 2,
+    runtime rejections exit via SystemExit with a message (code 1 when
+    raised with a string), never a traceback."""
+
+    def test_bad_scenario_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["analyse", "--scenario", "not-a-plant"])
+        assert exc.value.code == 2
+
+    def test_bad_policy_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["analyse", "--policy", "lifo"])
+        assert exc.value.code == 2
+
+    def test_conflicting_scenario_and_file_exit_2(self, tmp_path):
+        path = tmp_path / "net.json"
+        with pytest.raises(SystemExit) as exc:
+            main(["analyse", "--scenario", "factory-cell",
+                  "--file", str(path)])
+        assert exc.value.code == 2
+
+    def test_missing_file_is_a_clean_message(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["analyse", "--file", str(tmp_path / "missing.json")])
+        assert "cannot read scenario file" in str(exc.value.code)
+
+    def test_malformed_file_is_a_clean_message(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit) as exc:
+            main(["analyse", "--file", str(path)])
+        assert "bad scenario file" in str(exc.value.code)
+
+    def test_unknown_key_in_file_is_a_clean_message(self, tmp_path):
+        path = tmp_path / "typo.json"
+        path.write_text('{"masters": [{"address": 1, "dealine": 5}]}')
+        with pytest.raises(SystemExit) as exc:
+            main(["analyse", "--file", str(path)])
+        assert "bad scenario file" in str(exc.value.code)
+
+    def test_unknown_scenario_listed_before_file_processing(self, tmp_path):
+        """Programmatic callers (argparse can't reach this): an unknown
+        scenario is diagnosed with the valid choices *before* any file
+        handling touches the filesystem."""
+        import argparse
+
+        from repro.cli import _load_network
+
+        args = argparse.Namespace(
+            scenario="bogus", file=str(tmp_path / "never-read.json"),
+            ttr=None,
+        )
+        with pytest.raises(SystemExit) as exc:
+            _load_network(args)
+        message = str(exc.value.code)
+        assert "unknown scenario 'bogus'" in message
+        assert "factory-cell" in message  # the valid choices are listed
+
+    def test_namespace_without_any_source_is_diagnosed(self):
+        import argparse
+
+        from repro.cli import _load_network
+
+        with pytest.raises(SystemExit) as exc:
+            _load_network(argparse.Namespace(scenario=None, file=None))
+        assert "need --scenario or --file" in str(exc.value.code)
+
+
 class TestTrace:
     def test_timeline_rendered(self, capsys):
         rc = main(["trace", "--scenario", "single-master", "--policy", "dm",

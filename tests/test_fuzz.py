@@ -472,6 +472,60 @@ class TestCheckpointResume:
         assert again.resumed_instances == 18
         assert again.oracle_stats == full.oracle_stats
 
+    def test_empty_checkpoint_file_restarts_cleanly(self, tmp_path):
+        """A checkpoint that exists but holds nothing (killed before the
+        header flushed) is a fresh start, not an error — and the final
+        counters are identical to an uninterrupted run's."""
+        full = run_campaign(CampaignConfig(budget=18, seed=3))
+        ck = tmp_path / "ck.jsonl"
+        ck.write_text("")
+        resumed = run_campaign(self._config(tmp_path))
+        assert resumed.resumed_instances == 0
+        assert resumed.oracle_stats == full.oracle_stats
+        assert resumed.family_oracle_stats == full.family_oracle_stats
+        lines = ck.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "header"  # rewritten
+
+    def test_header_only_checkpoint_restarts_cleanly(self, tmp_path):
+        full = run_campaign(CampaignConfig(budget=18, seed=3))
+        first = run_campaign(self._config(tmp_path))
+        ck = tmp_path / "ck.jsonl"
+        header = ck.read_text().splitlines()[0]
+        ck.write_text(header + "\n")
+        resumed = run_campaign(self._config(tmp_path))
+        assert resumed.resumed_instances == 0
+        assert resumed.oracle_stats == full.oracle_stats
+        assert resumed.family_oracle_stats == full.family_oracle_stats
+        assert first.oracle_stats == resumed.oracle_stats
+        # exactly one header in the rewritten file
+        kinds = [json.loads(l)["kind"] for l in
+                 ck.read_text().splitlines()]
+        assert kinds.count("header") == 1
+        assert kinds.count("row") == 18
+
+    def test_fingerprint_mismatch_fails_cleanly_and_preserves_file(
+        self, tmp_path
+    ):
+        """A mismatched header must raise without touching the file, so
+        rerunning with the *original* configuration still resumes to
+        identical final counters."""
+        full = run_campaign(self._config(tmp_path))
+        ck = tmp_path / "ck.jsonl"
+        before = ck.read_text()
+        for bad in (
+            CampaignConfig(budget=18, seed=4, checkpoint=str(ck)),
+            CampaignConfig(budget=20, seed=3, checkpoint=str(ck)),
+            CampaignConfig(budget=18, seed=3, checkpoint=str(ck),
+                           horizon_cap=12345),
+        ):
+            with pytest.raises(ValueError, match="different campaign"):
+                run_campaign(bad)
+            assert ck.read_text() == before
+        again = run_campaign(self._config(tmp_path))
+        assert again.resumed_instances == 18
+        assert again.oracle_stats == full.oracle_stats
+        assert again.family_oracle_stats == full.family_oracle_stats
+
 
 class TestRedescribePolicies:
     def test_kernel_redescription_uses_campaign_policies(self, monkeypatch):

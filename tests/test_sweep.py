@@ -76,6 +76,12 @@ class TestBaudSweep:
         assert rows[0].tcycle == analyse(factory_cell, "edf").tcycle
 
 
+#: The CSV header is a frozen contract — downstream spreadsheets and the
+#: corpus csv digest both depend on it byte for byte.
+CSV_HEADER = ("parameter,value,policy,schedulable,"
+              "worst_response,worst_slack,tcycle")
+
+
 class TestCsv:
     def test_header_and_rows(self, factory_cell):
         rows = ttr_sweep(factory_cell, (1000,), policies=("dm",))
@@ -89,6 +95,59 @@ class TestCsv:
         rows = ttr_sweep(factory_cell, (10,), policies=("dm",))
         csv = rows_to_csv(rows)
         assert ",,," in csv or ",,\n" in csv or ",," in csv
+
+    def test_header_stable_across_all_three_row_types(self, factory_cell):
+        for rows in (
+            ttr_sweep(factory_cell, (1000,), policies=("dm",)),
+            deadline_scale_sweep(factory_cell, (0.5,), policies=("dm",)),
+            baud_sweep(factory_cell, (1_500_000,), policies=("dm",)),
+        ):
+            assert rows_to_csv(rows).splitlines()[0] == CSV_HEADER
+        assert rows_to_csv([]).splitlines() == [CSV_HEADER]
+
+    def test_none_cells_for_every_row_type(self, factory_cell):
+        """An infeasible/unschedulable row renders empty (not "None")
+        worst_response / worst_slack cells in each sweep flavour."""
+        cases = (
+            # TTR below ring latency: structurally infeasible
+            ttr_sweep(factory_cell, (10,), policies=("dm",)),
+            # deadlines crushed to the minimum: unschedulable
+            deadline_scale_sweep(factory_cell, (0.0001,),
+                                 policies=("fcfs",)),
+            # slowest standard baud: rescaled net unschedulable
+            baud_sweep(factory_cell, (9_600,), policies=("dm",)),
+        )
+        for rows in cases:
+            row = rows[0]
+            assert not row.schedulable
+            assert row.worst_slack is None
+            line = rows_to_csv(rows).splitlines()[1]
+            cells = line.split(",")
+            assert cells[4] == "" or row.worst_response is not None
+            assert cells[5] == ""  # worst_slack always empty here
+            assert "None" not in line
+
+    def test_fields_with_separators_are_quoted(self):
+        """RFC 4180 escaping: a parameter value containing separators,
+        quotes or newlines must not shift columns."""
+        row = SweepRow(parameter='ttr,"x"\nline', value=1.5, policy="dm",
+                       schedulable=True, worst_response=7, worst_slack=2,
+                       tcycle=9)
+        csv = rows_to_csv([row])
+        body = csv[len(CSV_HEADER) + 1:]
+        assert body == '"ttr,""x""\nline",1.5,dm,True,7,2,9\n'
+        # a stock csv reader round-trips it
+        import csv as csv_mod
+        import io
+
+        parsed = list(csv_mod.reader(io.StringIO(csv)))
+        assert parsed[1][0] == 'ttr,"x"\nline'
+        assert parsed[1][6] == "9"
+
+    def test_plain_rows_unaffected_by_escaping(self, factory_cell):
+        rows = deadline_scale_sweep(factory_cell, (0.5,), policies=("dm",))
+        for line in rows_to_csv(rows).splitlines():
+            assert '"' not in line
 
 
 class TestCliSweep:
