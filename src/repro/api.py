@@ -1,0 +1,553 @@
+"""`repro.api` — the unified typed analysis entrypoint.
+
+Every front end of this toolbox ultimately answers one of three
+questions about a network document:
+
+* **analyse** — per-stream worst-case response times and the
+  schedulability verdict under one policy (eqs. (11)/(16)/(17));
+* **sweep** — the same verdicts across a parameter grid (TTR,
+  deadline scale, baud rate);
+* **admission** — *can this message stream join the bus without
+  breaking the guarantees of the streams already on it?* — plus how
+  much headroom remains after it does (seeded on
+  :mod:`repro.core.sensitivity`).
+
+This module gives those questions one typed request/response shape:
+frozen :class:`AnalysisRequest` / :class:`AnalysisResult` dataclasses
+with schema-versioned dict/JSON forms (``profibus-rt/api/v1``).  The
+CLI subcommands and the resident service (:mod:`repro.service`) are two
+thin transports over :func:`execute`; scripts embed it directly.  The
+declarative-input / deterministic-core / schema-validated-output split
+is deliberate: interpretation happens at this boundary (documents in,
+documents out), the analysis core stays pure computation.
+
+Caching.  :func:`execute` optionally consults a
+:class:`repro.perf.cache.ResultCache` keyed on the request's **value
+key** — the canonical network fingerprint plus the analysis coordinates
+— so identical and repeated requests hit instead of recompute, whoever
+parsed the document.  Pass ``cache=None`` (the default) for the
+recompute-always behaviour the benchmarks and differential oracles
+require.
+
+The old call signatures (``repro.profibus.ttr.analyse``,
+``repro.perf.batch.analyse_many``, the sweep functions) remain as the
+compute core underneath and keep working unchanged; new code should
+come in through this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .perf.cache import ResultCache
+from .profibus import serialization as serialization_mod
+from .profibus import sweep as sweep_mod
+from .profibus import ttr as ttr_mod
+from .profibus.network import Master, Network
+from .profibus.serialization import ScenarioFormatError
+
+API_SCHEMA = "profibus-rt/api/v1"
+
+OPS = ("analyse", "sweep", "admission")
+POLICIES = ("fcfs", "dm", "edf")
+SWEEP_PARAMS = ("ttr", "deadline-scale", "baud")
+
+#: Precision of the admission-headroom bisections (mirrors the default
+#: of :func:`repro.core.sensitivity.critical_scaling_factor`).
+HEADROOM_PRECISION = Fraction(1, 128)
+
+
+class ApiError(ValueError):
+    """A malformed or unanswerable request (bad document, unknown
+    policy, missing TTR, …) — the caller's fault, reported as data."""
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One analysis question, as data.
+
+    ``network`` is a scenario document (the
+    :mod:`repro.profibus.serialization` shape), **not** a live object —
+    requests must survive JSON transport bit-exactly.  Op-specific
+    fields are ignored by the other ops; ``__post_init__`` freezes the
+    containers so instances hash and compare by value.
+    """
+
+    op: str
+    network: Dict[str, Any]
+    policy: str = "dm"
+    #: sweep only: the policies evaluated per grid point
+    policies: Tuple[str, ...] = POLICIES
+    ttr: Optional[int] = None
+    refined: bool = False
+    #: sweep only: which knob the grid turns
+    sweep_param: Optional[str] = None
+    #: sweep only: grid values (empty for ``baud`` = the standard rates)
+    sweep_values: Tuple[float, ...] = ()
+    #: admission only: ring address the candidate stream joins (an
+    #: existing master's, or a fresh address appended to the ring)
+    admission_master: Optional[int] = None
+    #: admission only: the candidate stream document
+    admission_stream: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ApiError(f"unknown op {self.op!r}; pick from {list(OPS)}")
+        if not isinstance(self.network, dict):
+            raise ApiError("request network must be a scenario document")
+        if self.policy not in POLICIES:
+            raise ApiError(
+                f"unknown policy {self.policy!r}; pick from {list(POLICIES)}"
+            )
+        object.__setattr__(self, "policies", tuple(self.policies))
+        for p in self.policies:
+            if p not in POLICIES:
+                raise ApiError(
+                    f"unknown policy {p!r}; pick from {list(POLICIES)}"
+                )
+        object.__setattr__(self, "sweep_values", tuple(self.sweep_values))
+        if self.op == "sweep":
+            if self.sweep_param not in SWEEP_PARAMS:
+                raise ApiError(
+                    f"sweep needs sweep_param from {list(SWEEP_PARAMS)}, "
+                    f"got {self.sweep_param!r}"
+                )
+            if self.sweep_param != "baud" and not self.sweep_values:
+                raise ApiError(
+                    f"sweep over {self.sweep_param!r} needs sweep_values"
+                )
+        if self.op == "admission":
+            if self.admission_master is None:
+                raise ApiError("admission needs admission_master (address)")
+            if not isinstance(self.admission_stream, dict):
+                raise ApiError(
+                    "admission needs admission_stream (a stream document)"
+                )
+
+    # -- value identity --------------------------------------------------
+    def cache_key(self, fingerprint: str) -> str:
+        """The shared-cache key: canonical network fingerprint + the
+        analysis coordinates.  Two requests with value-equal networks
+        and equal coordinates collide — by design — however their
+        documents were spelled."""
+        return json.dumps({
+            "schema": API_SCHEMA,
+            "op": self.op,
+            "fingerprint": fingerprint,
+            "policy": self.policy,
+            "policies": list(self.policies),
+            "ttr": self.ttr,
+            "refined": self.refined,
+            "sweep_param": self.sweep_param,
+            "sweep_values": list(self.sweep_values),
+            "admission_master": self.admission_master,
+            "admission_stream": self.admission_stream,
+        }, sort_keys=True, separators=(",", ":"))
+
+    # -- schema-versioned transport forms --------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "schema": API_SCHEMA,
+            "op": self.op,
+            "network": self.network,
+        }
+        defaults = {
+            f.name: (f.default_factory() if f.default_factory
+                     is not dataclasses.MISSING else f.default)
+            for f in dataclasses.fields(self)
+        }
+        for name in ("policy", "policies", "ttr", "refined", "sweep_param",
+                     "sweep_values", "admission_master", "admission_stream"):
+            value = getattr(self, name)
+            if value != defaults[name]:
+                doc[name] = list(value) if isinstance(value, tuple) else value
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "AnalysisRequest":
+        if not isinstance(doc, dict):
+            raise ApiError("request must be a JSON object")
+        if doc.get("schema") != API_SCHEMA:
+            raise ApiError(
+                f"unsupported request schema {doc.get('schema')!r}; "
+                f"this build speaks {API_SCHEMA}"
+            )
+        allowed = {"schema", "op", "network", "policy", "policies", "ttr",
+                   "refined", "sweep_param", "sweep_values",
+                   "admission_master", "admission_stream"}
+        unknown = set(doc) - allowed
+        if unknown:
+            raise ApiError(
+                f"unknown request key(s) {sorted(unknown)}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        for key in ("op", "network"):
+            if key not in doc:
+                raise ApiError(f"request missing key {key!r}")
+        kwargs: Dict[str, Any] = {"op": doc["op"], "network": doc["network"]}
+        for name in ("policy", "ttr", "refined", "sweep_param",
+                     "admission_master", "admission_stream"):
+            if name in doc:
+                kwargs[name] = doc[name]
+        if "policies" in doc:
+            kwargs["policies"] = tuple(doc["policies"])
+        if "sweep_values" in doc:
+            kwargs["sweep_values"] = tuple(doc["sweep_values"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """One analysis answer, as data.
+
+    ``fingerprint`` names the network content the answer holds for (the
+    cache key component); ``payload`` is the op-specific body, all
+    JSON-ready, so ``to_dict`` round-trips bit-exactly and two
+    transports serving the same request serve byte-identical documents.
+    """
+
+    op: str
+    fingerprint: str
+    schedulable: Optional[bool]
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": API_SCHEMA,
+            "op": self.op,
+            "fingerprint": self.fingerprint,
+            "schedulable": self.schedulable,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "AnalysisResult":
+        if not isinstance(doc, dict):
+            raise ApiError("result must be a JSON object")
+        if doc.get("schema") != API_SCHEMA:
+            raise ApiError(
+                f"unsupported result schema {doc.get('schema')!r}; "
+                f"this build speaks {API_SCHEMA}"
+            )
+        for key in ("op", "fingerprint", "schedulable", "payload"):
+            if key not in doc:
+                raise ApiError(f"result missing key {key!r}")
+        return cls(
+            op=doc["op"],
+            fingerprint=doc["fingerprint"],
+            schedulable=doc["schedulable"],
+            payload=doc["payload"],
+        )
+
+
+# ---------------------------------------------------------------- compute
+
+def _parse_network(request: AnalysisRequest) -> Network:
+    try:
+        net = serialization_mod.network_from_dict(request.network)
+    except ScenarioFormatError as exc:
+        raise ApiError(f"bad network document: {exc}") from exc
+    if request.ttr is not None:
+        if request.ttr <= 0:
+            raise ApiError("ttr override must be positive")
+        net = net.with_ttr(request.ttr)
+    return net
+
+
+def _analysis_payload(net: Network, policy: str,
+                      refined: bool) -> Dict[str, Any]:
+    try:
+        res = ttr_mod.analyse(net, policy, refined=refined)
+    except ValueError as exc:
+        raise ApiError(str(exc)) from exc
+    return {
+        "policy": policy,
+        "refined": refined,
+        "ttr": res.ttr,
+        "tcycle": res.tcycle,
+        "schedulable": res.schedulable,
+        "streams": [
+            {
+                "master": sr.master,
+                "stream": sr.stream.name,
+                "R": sr.R,
+                "D": sr.stream.D,
+                "schedulable": sr.schedulable,
+                "slack": sr.slack,
+            }
+            for sr in res.per_stream
+        ],
+    }
+
+
+def _compute_analyse(request: AnalysisRequest, net: Network,
+                     fingerprint: str, workers: int) -> AnalysisResult:
+    payload = _analysis_payload(net, request.policy, request.refined)
+    return AnalysisResult(
+        op="analyse",
+        fingerprint=fingerprint,
+        schedulable=payload["schedulable"],
+        payload=payload,
+    )
+
+
+def _compute_sweep(request: AnalysisRequest, net: Network,
+                   fingerprint: str, workers: int) -> AnalysisResult:
+    policies = request.policies
+    try:
+        if request.sweep_param == "ttr":
+            rows = sweep_mod.ttr_sweep(net, request.sweep_values,
+                                       policies=policies, workers=workers)
+        elif request.sweep_param == "deadline-scale":
+            rows = sweep_mod.deadline_scale_sweep(
+                net, request.sweep_values, policies=policies, workers=workers
+            )
+        else:
+            values = ([int(v) for v in request.sweep_values]
+                      if request.sweep_values else None)
+            rows = sweep_mod.baud_sweep(
+                net, values if values is not None
+                else sweep_mod.STANDARD_BAUD_RATES,
+                policies=policies, workers=workers,
+            )
+    except ValueError as exc:
+        raise ApiError(str(exc)) from exc
+    row_docs = [
+        {
+            "parameter": r.parameter,
+            "value": r.value,
+            "policy": r.policy,
+            "schedulable": r.schedulable,
+            "worst_response": r.worst_response,
+            "worst_slack": r.worst_slack,
+            "tcycle": r.tcycle,
+        }
+        for r in rows
+    ]
+    payload = {
+        "param": request.sweep_param,
+        "policies": list(policies),
+        "rows": row_docs,
+        "csv": sweep_mod.rows_to_csv(rows),
+    }
+    return AnalysisResult(
+        op="sweep",
+        fingerprint=fingerprint,
+        schedulable=None,
+        payload=payload,
+    )
+
+
+def _admit_stream(net: Network, address: int,
+                  stream_doc: Dict[str, Any]) -> Network:
+    """The candidate network: ``stream_doc`` joined to the master at
+    ``address`` (or a fresh master appended to the logical ring)."""
+    try:
+        stream = serialization_mod._stream_from(stream_doc)
+    except ScenarioFormatError as exc:
+        raise ApiError(f"bad admission stream: {exc}") from exc
+    masters: List[Master] = []
+    joined = False
+    for m in net.masters:
+        if m.address == address:
+            if any(s.name == stream.name for s in m.streams):
+                raise ApiError(
+                    f"master {address} already has a stream named "
+                    f"{stream.name!r}"
+                )
+            m = m.with_streams(m.streams + (stream,))
+            joined = True
+        masters.append(m)
+    if not joined:
+        try:
+            masters.append(Master(address=address, streams=(stream,)))
+        except ValueError as exc:
+            raise ApiError(str(exc)) from exc
+    try:
+        return Network(masters=tuple(masters), slaves=net.slaves,
+                       phy=net.phy, ttr=net.ttr)
+    except ValueError as exc:
+        raise ApiError(str(exc)) from exc
+
+
+def _deadline_tightening_limit(net: Network, policy: str,
+                               refined: bool) -> Optional[float]:
+    """Smallest factor every deadline can be scaled down to with the
+    network still schedulable — the sensitivity-analysis headroom
+    figure, through the same monotone bisection the core's critical
+    scaling factor uses.  ``None`` when the network is not schedulable
+    even unscaled (the bisection's infeasible-at-upper case)."""
+    from .core.sensitivity import smallest_feasible_factor
+
+    def feasible(factor: Fraction) -> bool:
+        scaled = sweep_mod._scale_deadlines(net, float(factor))
+        return ttr_mod.analyse(scaled, policy, refined=refined).schedulable
+
+    limit = smallest_feasible_factor(feasible, precision=HEADROOM_PRECISION)
+    return None if limit is None else float(limit)
+
+
+def _compute_admission(request: AnalysisRequest, net: Network,
+                       fingerprint: str, workers: int) -> AnalysisResult:
+    before = _analysis_payload(net, request.policy, request.refined)
+    after_net = _admit_stream(net, request.admission_master,
+                              request.admission_stream)
+    after = _analysis_payload(after_net, request.policy, request.refined)
+    admitted = bool(after["schedulable"])
+    ok_before = {
+        (row["master"], row["stream"])
+        for row in before["streams"] if row["schedulable"]
+    }
+    broken = [
+        {"master": row["master"], "stream": row["stream"], "R": row["R"],
+         "D": row["D"]}
+        for row in after["streams"]
+        if not row["schedulable"] and (row["master"], row["stream"])
+        in ok_before
+    ]
+    headroom: Dict[str, Any] = {
+        "max_feasible_ttr": None,
+        "deadline_tightening_limit": None,
+    }
+    if admitted:
+        headroom["max_feasible_ttr"] = ttr_mod.max_feasible_ttr(
+            after_net, request.policy, refined=request.refined
+        )
+        headroom["deadline_tightening_limit"] = _deadline_tightening_limit(
+            after_net, request.policy, request.refined
+        )
+    payload = {
+        "policy": request.policy,
+        "refined": request.refined,
+        "master": request.admission_master,
+        "stream": request.admission_stream,
+        "admitted": admitted,
+        "before": before,
+        "after": after,
+        "broken_streams": broken,
+        "headroom": headroom,
+    }
+    return AnalysisResult(
+        op="admission",
+        fingerprint=fingerprint,
+        schedulable=admitted,
+        payload=payload,
+    )
+
+
+_COMPUTE = {
+    "analyse": _compute_analyse,
+    "sweep": _compute_sweep,
+    "admission": _compute_admission,
+}
+
+
+# ------------------------------------------------------------- entrypoint
+
+def execute_cached(
+    request: AnalysisRequest,
+    cache: Optional[ResultCache] = None,
+    workers: int = 1,
+) -> Tuple[AnalysisResult, bool]:
+    """``(result, cache_hit)`` for one request.
+
+    With a cache, the value key (canonical network fingerprint +
+    analysis coordinates) is consulted first; a hit returns the stored
+    result without touching the analysis layer.  ``workers`` spreads a
+    large sweep grid over the batch process pool; it is an execution
+    detail, never part of the value key.
+    """
+    net = _parse_network(request)
+    fingerprint = net.fingerprint()
+    if cache is None:
+        return _COMPUTE[request.op](request, net, fingerprint, workers), False
+    key = request.cache_key(fingerprint)
+    hit, result = cache.get_or_compute(
+        key, lambda: _COMPUTE[request.op](request, net, fingerprint, workers)
+    )
+    return result, hit
+
+
+def execute(
+    request: AnalysisRequest,
+    cache: Optional[ResultCache] = None,
+    workers: int = 1,
+) -> AnalysisResult:
+    """The one typed entrypoint: every transport routes through here."""
+    result, _ = execute_cached(request, cache=cache, workers=workers)
+    return result
+
+
+def execute_request_doc(doc: Dict[str, Any], workers: int = 1) -> Dict[str, Any]:
+    """Dict-in/dict-out :func:`execute` — module-level and picklable, so
+    the service's process-pool workers can run it directly.  Caching
+    stays in the caller's process (the pool must compute, not consult a
+    worker-local cache that would miss forever)."""
+    return execute(AnalysisRequest.from_dict(doc), workers=workers).to_dict()
+
+
+# ------------------------------------------------- convenience front doors
+
+def _network_doc(network: Union[Network, Dict[str, Any]]) -> Dict[str, Any]:
+    if isinstance(network, Network):
+        return serialization_mod.network_to_dict(network)
+    return network
+
+
+def analyse_network(
+    network: Union[Network, Dict[str, Any]],
+    policy: str = "dm",
+    ttr: Optional[int] = None,
+    refined: bool = False,
+    cache: Optional[ResultCache] = None,
+) -> AnalysisResult:
+    """Typed form of the classic ``ttr.analyse`` call (which remains as
+    the compute core; new code should prefer this entrypoint)."""
+    return execute(
+        AnalysisRequest(op="analyse", network=_network_doc(network),
+                        policy=policy, ttr=ttr, refined=refined),
+        cache=cache,
+    )
+
+
+def sweep_network(
+    network: Union[Network, Dict[str, Any]],
+    sweep_param: str,
+    sweep_values: Tuple[float, ...] = (),
+    policies: Tuple[str, ...] = POLICIES,
+    ttr: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    workers: int = 1,
+) -> AnalysisResult:
+    """Typed form of the sweep drivers (grid in, rows + CSV out)."""
+    return execute(
+        AnalysisRequest(op="sweep", network=_network_doc(network),
+                        policies=tuple(policies), ttr=ttr,
+                        sweep_param=sweep_param,
+                        sweep_values=tuple(sweep_values)),
+        cache=cache,
+        workers=workers,
+    )
+
+
+def admission_check(
+    network: Union[Network, Dict[str, Any]],
+    master: int,
+    stream: Dict[str, Any],
+    policy: str = "dm",
+    ttr: Optional[int] = None,
+    refined: bool = False,
+    cache: Optional[ResultCache] = None,
+) -> AnalysisResult:
+    """Can ``stream`` join the master at ``master`` without breaking the
+    existing guarantees — and how much headroom is left if it does?"""
+    return execute(
+        AnalysisRequest(op="admission", network=_network_doc(network),
+                        policy=policy, ttr=ttr, refined=refined,
+                        admission_master=master, admission_stream=stream),
+        cache=cache,
+    )

@@ -7,12 +7,18 @@ Subcommands::
     profibus-rt simulate --scenario factory-cell --policy edf --horizon-ms 4000
     profibus-rt report   --scenario factory-cell
     profibus-rt fuzz     --budget 200 --seed 0
+    profibus-rt serve    --port 7532 --workers 4
 
 ``analyse`` prints per-stream worst-case response times (eqs. 11/16/17);
 ``ttr`` prints the maximum feasible TTR per policy (eq. 15 +
 generalisation); ``simulate`` runs the token-bus simulator and compares
 observed responses against the analytic bounds; ``report`` prints the
-token-cycle breakdown (eqs. 13–14).
+token-cycle breakdown (eqs. 13–14); ``serve`` runs the resident
+analysis service (:mod:`repro.service`).
+
+``analyse``, ``sweep`` and ``serve`` are all thin transports over the
+one typed entrypoint in :mod:`repro.api` — same request, same result
+document, whichever way it arrives.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ import sys
 from typing import Callable, Dict
 
 from .profibus.timing import token_cycle_report
-from .profibus.ttr import analyse, ttr_advantage
+from .profibus.ttr import ttr_advantage
 from .scenarios import (
     factory_cell_network,
     paper_illustration_network,
@@ -68,21 +74,24 @@ def _load_network(args):
 
 
 def _cmd_analyse(args) -> int:
+    from . import api
+
     net = _load_network(args)
-    result = analyse(net, args.policy, refined=args.refined)
+    payload = api.analyse_network(net, policy=args.policy,
+                                  refined=args.refined).payload
     phy = net.phy
     print(f"scenario={args.scenario} policy={args.policy} "
-          f"TTR={result.ttr} ({phy.ms(result.ttr):.2f} ms) "
-          f"Tcycle={result.tcycle} ({phy.ms(result.tcycle):.2f} ms)")
+          f"TTR={payload['ttr']} ({phy.ms(payload['ttr']):.2f} ms) "
+          f"Tcycle={payload['tcycle']} ({phy.ms(payload['tcycle']):.2f} ms)")
     print(f"{'stream':<28}{'R (bits)':>10}{'R (ms)':>9}{'D (ms)':>9}  verdict")
-    for sr in result.per_stream:
-        r = sr.R if sr.R is not None else float("inf")
-        print(f"{sr.master + '/' + sr.stream.name:<28}"
-              f"{sr.R if sr.R is not None else '∞':>10}"
-              f"{phy.ms(r):>9.2f}{phy.ms(sr.stream.D):>9.2f}  "
-              f"{'ok' if sr.schedulable else 'MISS'}")
-    print(f"schedulable: {result.schedulable}")
-    return 0 if result.schedulable else 1
+    for row in payload["streams"]:
+        r = row["R"] if row["R"] is not None else float("inf")
+        print(f"{row['master'] + '/' + row['stream']:<28}"
+              f"{row['R'] if row['R'] is not None else '∞':>10}"
+              f"{phy.ms(r):>9.2f}{phy.ms(row['D']):>9.2f}  "
+              f"{'ok' if row['schedulable'] else 'MISS'}")
+    print(f"schedulable: {payload['schedulable']}")
+    return 0 if payload["schedulable"] else 1
 
 
 def _cmd_ttr(args) -> int:
@@ -135,28 +144,26 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from .profibus.sweep import (
-        baud_sweep,
-        deadline_scale_sweep,
-        rows_to_csv,
-        ttr_sweep,
-    )
+    from . import api
 
     net = _load_network(args)
     if args.param == "ttr":
-        values = range(args.start, args.stop + 1, args.step)
-        rows = ttr_sweep(net, values, workers=args.workers)
+        values = tuple(range(args.start, args.stop + 1, args.step))
     elif args.param == "deadline-scale":
         n = max(2, (args.stop - args.start) // max(1, args.step) + 1)
-        factors = [args.start / 100.0 + i * args.step / 100.0
-                   for i in range(n)
-                   if args.start + i * args.step <= args.stop]
-        rows = deadline_scale_sweep(net, factors, workers=args.workers)
+        values = tuple(args.start / 100.0 + i * args.step / 100.0
+                       for i in range(n)
+                       if args.start + i * args.step <= args.stop)
     elif args.param == "baud":
-        rows = baud_sweep(net, workers=args.workers)
+        values = ()  # empty = the standard rates
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown sweep parameter {args.param!r}")
-    print(rows_to_csv(rows), end="")
+    try:
+        result = api.sweep_network(net, args.param, values,
+                                   workers=args.workers)
+    except api.ApiError as exc:
+        raise SystemExit(str(exc))
+    print(result.payload["csv"], end="")
     return 0
 
 
@@ -282,6 +289,33 @@ def _cmd_fuzz(args) -> int:
     return 0 if result.ok and not result.promotion_errors else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import AnalysisServer
+
+    if args.workers < 1:
+        raise SystemExit("serve: --workers must be >= 1")
+    if args.cache_capacity < 1:
+        raise SystemExit("serve: --cache-capacity must be >= 1")
+    server = AnalysisServer(host=args.host, port=args.port,
+                            workers=args.workers,
+                            cache_capacity=args.cache_capacity)
+
+    async def main() -> None:
+        host, port = await server.start()
+        # flushed immediately: scripts (and the CI smoke job) wait for
+        # this line to learn the kernel-assigned port when --port 0
+        print(f"listening on {host}:{port}", flush=True)
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_export(args) -> int:
     from .profibus.serialization import save_network
 
@@ -378,7 +412,8 @@ def _cmd_corpus_check(args) -> int:
     from .corpus import store
 
     try:
-        report = store.check_corpus(args.dir, entry_ids=args.entry or None)
+        report = store.check_corpus(args.dir, entry_ids=args.entry or None,
+                                    workers=args.workers)
     except ValueError as exc:
         raise SystemExit(str(exc))
     for line in report.format_lines(verbose=args.verbose):
@@ -607,6 +642,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="restrict to these entry ids")
     cp.add_argument("--verbose", action="store_true",
                     help="print the first diverging value per mismatch")
+    cp.add_argument("--workers", type=int, default=1,
+                    help="process-pool size for the per-entry oracle "
+                         "recomputation (default: serial)")
     cp.set_defaults(func=_cmd_corpus_check)
 
     cp = csub.add_parser(
@@ -615,6 +653,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_corpus_dir(cp)
     cp.add_argument("--entry", nargs="*", default=None, metavar="ID")
+    cp.add_argument("--workers", type=int, default=1,
+                    help="process-pool size for the per-entry oracle "
+                         "recomputation (default: serial)")
     # diff IS check with the divergence details always on
     cp.set_defaults(func=_cmd_corpus_check, verbose=True)
 
@@ -637,6 +678,22 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--mutant", nargs="*", default=None, metavar="NAME",
                     help="restrict to these mutants (default: all)")
     cp.set_defaults(func=_cmd_corpus_mutants)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resident analysis service (JSON lines over TCP)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback only)")
+    p.add_argument("--port", type=int, default=7532,
+                   help="TCP port; 0 asks the kernel for a free one "
+                        "(reported on the 'listening on' line)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="analysis process-pool size; 1 computes on a "
+                        "thread off the accept loop (default)")
+    p.add_argument("--cache-capacity", type=int, default=4096,
+                   help="shared result-cache capacity (LRU entries)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("trace", help="simulate and render an ASCII bus timeline")
     add_common(p)

@@ -22,7 +22,9 @@ from .results import AnalysisResult, FeasibilityResult, ResponseTime
 from .sensitivity import (
     breakdown_utilization,
     critical_scaling_factor,
+    largest_feasible_factor,
     scale_execution_times,
+    smallest_feasible_factor,
 )
 from .rta_fixed import (
     feasible_at_lowest_nonpreemptive,
@@ -66,7 +68,9 @@ __all__ = [
     "blocking_from",
     "breakdown_utilization",
     "critical_scaling_factor",
+    "largest_feasible_factor",
     "scale_execution_times",
+    "smallest_feasible_factor",
     "ceil_div",
     "dbf",
     "dbf_with_jitter",

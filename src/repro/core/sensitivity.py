@@ -35,6 +35,69 @@ def scale_execution_times(taskset: TaskSet, factor: Fraction) -> TaskSet:
     return TaskSet(out)
 
 
+def largest_feasible_factor(
+    is_feasible: Callable[[Fraction], bool],
+    precision: Fraction = Fraction(1, 128),
+    lower: Optional[Fraction] = None,
+    upper: Fraction = Fraction(8),
+) -> Optional[Fraction]:
+    """Largest factor (within ``precision``) satisfying a predicate that
+    is monotone *decreasing* in the factor — feasible below some
+    boundary, infeasible above it.
+
+    The bisection skeleton behind :func:`critical_scaling_factor`,
+    exposed because the same question recurs at the network level: the
+    admission-control headroom in :mod:`repro.api` asks for the largest
+    load scaling a just-admitted stream set tolerates.  Returns ``None``
+    when even ``lower`` (default: ``precision``) is infeasible, and
+    ``upper`` itself when nothing in the range is infeasible.
+    """
+    if precision <= 0:
+        raise ValueError("precision must be positive")
+    lo = precision if lower is None else lower
+    if not is_feasible(lo):
+        return None
+    hi = upper
+    if is_feasible(hi):
+        return hi
+    while hi - lo > precision:
+        mid = (lo + hi) / 2
+        if is_feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def smallest_feasible_factor(
+    is_feasible: Callable[[Fraction], bool],
+    precision: Fraction = Fraction(1, 128),
+    lower: Fraction = Fraction(1, 128),
+    upper: Fraction = Fraction(1),
+) -> Optional[Fraction]:
+    """Mirror image of :func:`largest_feasible_factor` for predicates
+    monotone *increasing* in the factor — infeasible below a boundary,
+    feasible above it (e.g. "how far can every deadline be tightened
+    before the network stops being schedulable?").  Returns ``None``
+    when even ``upper`` is infeasible, and ``lower`` itself when the
+    whole range is feasible."""
+    if precision <= 0:
+        raise ValueError("precision must be positive")
+    if not is_feasible(upper):
+        return None
+    lo = lower
+    hi = upper
+    if is_feasible(lo):
+        return lo
+    while hi - lo > precision:
+        mid = (lo + hi) / 2
+        if is_feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
 def critical_scaling_factor(
     taskset: TaskSet,
     is_schedulable: Callable[[TaskSet], bool],
@@ -47,21 +110,11 @@ def critical_scaling_factor(
     probe (``precision`` itself).  The predicate must be monotone
     decreasing in the execution times (true for every test here).
     """
-    if precision <= 0:
-        raise ValueError("precision must be positive")
-    if not is_schedulable(scale_execution_times(taskset, precision)):
-        return None
-    lo = precision
-    hi = upper
-    if is_schedulable(scale_execution_times(taskset, hi)):
-        return hi
-    while hi - lo > precision:
-        mid = (lo + hi) / 2
-        if is_schedulable(scale_execution_times(taskset, mid)):
-            lo = mid
-        else:
-            hi = mid
-    return lo
+    return largest_feasible_factor(
+        lambda factor: is_schedulable(scale_execution_times(taskset, factor)),
+        precision=precision,
+        upper=upper,
+    )
 
 
 def breakdown_utilization(

@@ -7,6 +7,7 @@ about it.  The on-disk form is one JSON object per line of a
     {
       "schema": "profibus-rt/corpus/v1",
       "id": "scenario:factory-cell",
+      "fingerprint": "sha256 of the canonical network content",
       "provenance": {"source": "scenario", "scenario": "factory-cell"},
       "network": { ... scenario document ... },
       "config":  { ... pinned evaluation knobs ... },
@@ -14,6 +15,11 @@ about it.  The on-disk form is one JSON object per line of a
                   "roundtrip": {...}, "validation": {...}},
       "digests": {"analysis": "sha256...", ...}
     }
+
+The ``fingerprint`` is :func:`repro.profibus.serialization.network_fingerprint`
+of the stored network — the same value key the shared result cache and
+the fuzz checkpoints use — so "is this network content already frozen?"
+is one set lookup, however the entry was named.
 
 Everything is canonicalised (sorted keys, no whitespace) before
 digesting, so ``corpus check`` compares *bit-exact* recomputations: a
@@ -59,6 +65,8 @@ class CorpusEntry:
     config: Dict[str, Any]
     golden: Dict[str, Any]
     digests: Dict[str, str]
+    #: canonical content fingerprint of ``network_doc`` (value identity)
+    fingerprint: str = ""
 
     def network(self) -> Network:
         """Parse the stored scenario document (fresh instance: analysis
@@ -66,7 +74,7 @@ class CorpusEntry:
         return serialization_mod.network_from_dict(self.network_doc)
 
     def to_doc(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "schema": CORPUS_SCHEMA,
             "id": self.entry_id,
             "provenance": self.provenance,
@@ -75,6 +83,9 @@ class CorpusEntry:
             "golden": self.golden,
             "digests": self.digests,
         }
+        if self.fingerprint:
+            doc["fingerprint"] = self.fingerprint
+        return doc
 
     @classmethod
     def from_doc(cls, doc: Dict[str, Any]) -> "CorpusEntry":
@@ -86,6 +97,7 @@ class CorpusEntry:
             config=doc["config"],
             golden=doc["golden"],
             digests=doc["digests"],
+            fingerprint=doc.get("fingerprint", ""),
         )
 
 
@@ -94,7 +106,9 @@ def validate_entry_doc(doc: Dict[str, Any]) -> None:
 
     Also re-derives every section digest from the stored golden — a
     hand-edited golden that no longer matches its recorded digest is a
-    corrupt entry, not a passing one.
+    corrupt entry, not a passing one — and, when the entry carries a
+    ``fingerprint``, recomputes it from the stored network (a stale
+    fingerprint would silently break the value-identity dedup paths).
     """
     if not isinstance(doc, dict):
         raise ValueError("corpus entry must be a JSON object")
@@ -118,4 +132,22 @@ def validate_entry_doc(doc: Dict[str, Any]) -> None:
                 f"entry {doc['id']!r}: stored digest for {section!r} "
                 f"({expected}) does not match its golden ({actual}); "
                 "the entry was hand-edited or truncated — re-record it"
+            )
+    stored_fp = doc.get("fingerprint")
+    if stored_fp is not None:
+        if not isinstance(stored_fp, str) or not stored_fp:
+            raise ValueError(
+                f"entry {doc['id']!r}: fingerprint must be a non-empty "
+                "string when present"
+            )
+        # hash the stored document directly (record always writes the
+        # canonical network_to_dict form) — deliberately NOT through the
+        # late-bound serialisation seam, which the mutation harness
+        # patches; entry validation must stay trustworthy under mutants
+        actual_fp = serialization_mod.network_doc_fingerprint(doc["network"])
+        if stored_fp != actual_fp:
+            raise ValueError(
+                f"entry {doc['id']!r}: stored fingerprint ({stored_fp}) "
+                f"does not match its network content ({actual_fp}); "
+                "the network was edited — re-record the entry"
             )

@@ -30,6 +30,10 @@ Catalogue (each entry names the layer it corrupts):
   non-zero ``J`` fields.
 * ``validate-ignores-pending`` — ``effective_observed`` ignores
   pending-request age (the vacuous-pass hole PR 3 closed).
+* ``sim-mac-before-release`` — the DES calendar fires same-instant
+  events MAC-first, so a request released at the token-arrival instant
+  misses that token visit (inverts the engine's determinism contract;
+  killed by the dedicated ``probe:event-order`` corpus entry).
 
 Mutants patch module attributes inside a context manager and restore
 them afterwards, so the harness leaves the process clean even on error.
@@ -246,7 +250,7 @@ def _serialization_drops_jitter():
     )
 
 
-# ----------------------------------------------------------- sim mutant
+# ----------------------------------------------------------- sim mutants
 
 def _validate_ignores_pending():
     from ..sim import validate as validate_mod
@@ -255,6 +259,25 @@ def _validate_ignores_pending():
         validate_mod.ValidationRow, "effective_observed",
         property(lambda self: self.observed),  # BUG: pending age ignored
     ))
+
+
+def _sim_mac_before_release():
+    from ..sim import engine as engine_mod
+
+    original = engine_mod.Simulator.schedule
+
+    def swapped_schedule(self, time, callback,
+                         priority=engine_mod.PRIO_MAC):
+        # BUG: inverts the same-instant convention — MAC decisions fire
+        # before releases, so a request queued at the token-arrival
+        # instant is invisible to that token visit
+        if priority == engine_mod.PRIO_RELEASE:
+            priority = engine_mod.PRIO_MAC
+        elif priority == engine_mod.PRIO_MAC:
+            priority = engine_mod.PRIO_RELEASE
+        return original(self, time, callback, priority)
+
+    return _patched((engine_mod.Simulator, "schedule", swapped_schedule))
 
 
 MUTANTS: Dict[str, Mutant] = {
@@ -291,6 +314,10 @@ MUTANTS: Dict[str, Mutant] = {
         Mutant("validate-ignores-pending",
                "effective_observed ignores pending-request age",
                ("validation",), _validate_ignores_pending),
+        Mutant("sim-mac-before-release",
+               "same-instant token-bus events fire MAC before releases "
+               "(the t=0 critical instant goes unobserved)",
+               ("validation",), _sim_mac_before_release),
     )
 }
 

@@ -4,6 +4,8 @@ Layout: every ``*.jsonl`` file under the corpus directory holds one
 entry per line (see :mod:`repro.corpus.entry` for the document shape).
 The seeded corpus ships as:
 
+* ``event-order.jsonl`` — the DES event-ordering probe (name sorts
+  first, so mutation-harness kills meet it before anything else);
 * ``scenarios.jsonl`` — the three built-in scenarios;
 * ``fuzz.jsonl`` — one exemplar instance per fuzz family, recorded at a
   pinned campaign seed;
@@ -50,6 +52,43 @@ SEED_FUZZ_EXEMPLARS: Dict[str, int] = {
 #: Validation horizon for the flagship factory-cell entry (long enough
 #: for every stream to complete several responses).
 FACTORY_CELL_VALIDATION_HORIZON = 30_000
+
+#: Validation horizon for the event-ordering probe entry — a few token
+#: rotations: long enough for every first response (whose observed value
+#: moves the moment same-instant releases stop preceding MAC decisions),
+#: short enough that the probe kill costs milliseconds.  The probe file
+#: name sorts *before* the other corpus files, so the mutation harness's
+#: stop-on-first-failure check meets it first.
+EVENT_ORDER_PROBE_HORIZON = 12_000
+
+
+def event_order_probe_network() -> "Network":
+    """A deliberately minimal network whose validation golden pins the
+    DES same-instant convention (releases before MAC decisions).
+
+    Every stream releases synchronously at t=0 — the instant the token
+    first arrives — so the frozen observed responses are only
+    reproducible while the t=0 releases are visible to the t=0 MAC
+    decision.  An engine that fires MAC events first pushes every first
+    response a full token rotation out, and this entry dies loudly.
+    """
+    from ..profibus.cycle import MessageCycleSpec
+    from ..profibus.network import Master
+    from ..profibus.phy import PhyParameters
+    from ..profibus.stream import MessageStream
+
+    ms = 500  # bit times per millisecond at 500 kbit/s
+    m1 = Master(1, (
+        MessageStream("ping", T=20 * ms, D=10 * ms,
+                      spec=MessageCycleSpec(req_payload=2, resp_payload=2)),
+    ))
+    m2 = Master(2, (
+        MessageStream("pong", T=24 * ms, D=12 * ms,
+                      spec=MessageCycleSpec(req_payload=2, resp_payload=2)),
+    ))
+    net = Network(masters=(m1, m2), phy=PhyParameters(baud_rate=500_000))
+    return net.with_ttr(max(600, net.ring_latency()))
+
 
 #: A second factory-cell entry pins a horizon *shorter than several
 #: streams' first completion*, so its frozen verdict rows contain
@@ -197,6 +236,7 @@ def record_network(
         config=config,
         golden=golden,
         digests={name: section_digest(sec) for name, sec in golden.items()},
+        fingerprint=parsed.fingerprint(),
     )
 
 
@@ -235,6 +275,21 @@ def seed_entries() -> List[Tuple[str, CorpusEntry]]:
                 **overrides,
             ),
         ))
+    out.append((
+        "event-order.jsonl",
+        record_network(
+            event_order_probe_network(),
+            entry_id="probe:event-order",
+            provenance={
+                "source": "probe",
+                "note": ("synchronous t=0 releases pin the DES "
+                         "same-instant convention (releases before MAC); "
+                         "file name sorts first so the mutation harness "
+                         "meets this entry before any other"),
+            },
+            validation_horizon=EVENT_ORDER_PROBE_HORIZON,
+        ),
+    ))
     for family in sorted(SEED_FUZZ_EXEMPLARS):
         index = SEED_FUZZ_EXEMPLARS[family]
         net = generate_instance(SEED_FUZZ_SEED, family, index)
@@ -364,11 +419,27 @@ class CheckReport:
         return lines
 
 
+def _check_entry_job(
+    job: Tuple[str, Dict[str, Any], Dict[str, Any], Dict[str, Any]],
+    fail_fast: bool,
+) -> EntryResult:
+    """Recheck one entry — module-level and picklable, so
+    :func:`repro.perf.batch.pooled_imap` can ship it to pool workers
+    (everything in the job is the entry's own JSON-ready documents)."""
+    entry_id, network_doc, config, golden = job
+    return EntryResult(
+        entry_id,
+        check_network_golden(network_doc, config, golden,
+                             fail_fast=fail_fast),
+    )
+
+
 def check_corpus(
     directory: Union[str, Path] = DEFAULT_CORPUS_DIR,
     entry_ids: Optional[Sequence[str]] = None,
     fail_fast: bool = False,
     stop_on_first_failure: bool = False,
+    workers: Optional[int] = 1,
 ) -> CheckReport:
     """Recompute every entry's golden sections and compare bit-exactly.
 
@@ -376,6 +447,13 @@ def check_corpus(
     mismatching section; ``stop_on_first_failure`` additionally stops
     at the first failing entry (the mutation harness uses both — one
     killing entry is enough evidence).
+
+    ``workers`` spreads the per-entry recomputation over the shared
+    :func:`repro.perf.batch.pooled_imap` engine (``1`` = serial
+    in-process, ``None`` = cpu count).  Results come back in entry
+    order either way, and the entries are independent, so the report is
+    identical to a serial run.  The mutation harness must stay serial:
+    its in-process monkeypatches do not reach spawned pool workers.
     """
     entries = load_corpus(directory)
     if entry_ids is not None:
@@ -384,13 +462,18 @@ def check_corpus(
         if unknown:
             raise ValueError(f"unknown corpus entry id(s) {sorted(unknown)}")
         entries = [e for e in entries if e.entry_id in wanted]
+    from functools import partial
+
+    from ..perf.batch import pooled_imap
+
+    jobs = [(e.entry_id, e.network_doc, e.config, e.golden) for e in entries]
     results: List[EntryResult] = []
-    for entry in entries:
-        mismatches = check_network_golden(
-            entry.network_doc, entry.config, entry.golden, fail_fast=fail_fast
-        )
-        results.append(EntryResult(entry.entry_id, mismatches))
-        if mismatches and stop_on_first_failure:
+    # chunksize=1: a corpus is tens of entries, each seconds of work —
+    # per-entry scheduling beats pickling amortisation here
+    for result in pooled_imap(partial(_check_entry_job, fail_fast=fail_fast),
+                              jobs, workers=workers, chunksize=1):
+        results.append(result)
+        if not result.ok and stop_on_first_failure:
             break
     return CheckReport(results)
 
@@ -465,15 +548,47 @@ def _counterexample_identity(provenance: Dict[str, Any]) -> str:
 _PromotionItem = Tuple[str, Dict[str, Any], Optional[Network], Optional[str]]
 
 
+def _existing_value_keys(directory: Path) -> set:
+    """``(fingerprint, oracle, policy)`` for every entry that records a
+    fingerprint — the value-identity view of the corpus.  Tolerant of
+    malformed lines for the same reason :func:`_existing_ids` is."""
+    keys = set()
+    for path in _corpus_files(directory):
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(doc, dict):
+                continue
+            fp = doc.get("fingerprint")
+            if not isinstance(fp, str) or not fp:
+                continue
+            provenance = doc.get("provenance") or {}
+            keys.add((fp, provenance.get("oracle"),
+                      provenance.get("policy")))
+    return keys
+
+
 def _promote_batch(
     items: Iterable[_PromotionItem],
     directory: Union[str, Path],
 ) -> PromotionResult:
     """The single promotion loop.  Existing ids are scanned once per
     batch (per-item directory scans would be quadratic in corpus size)
-    and updated in place as entries land in ``promoted.jsonl``."""
+    and updated in place as entries land in ``promoted.jsonl``.
+
+    Dedup is two-level: by entry id (same campaign re-run) and by value
+    key — canonical network fingerprint + oracle + policy — so two
+    campaigns that shrink *different* instances to the same network
+    under the same failing coordinates freeze it once, not twice under
+    different names."""
     directory = Path(directory)
     existing = set(_existing_ids(directory))
+    value_keys = _existing_value_keys(directory)
     added: List[str] = []
     skipped: List[str] = []
     errors: List[Tuple[str, str]] = []
@@ -485,6 +600,11 @@ def _promote_batch(
                 errors.append((entry_id, error))
                 continue
             if entry_id in existing:
+                skipped.append(entry_id)
+                continue
+            value_key = (network.fingerprint(), provenance.get("oracle"),
+                         provenance.get("policy"))
+            if value_key in value_keys:
                 skipped.append(entry_id)
                 continue
             try:
@@ -503,6 +623,7 @@ def _promote_batch(
                 errors.append((entry_id, str(exc)))
             else:
                 existing.add(entry_id)
+                value_keys.add(value_key)
                 added.append(entry_id)
     finally:
         if fh is not None:

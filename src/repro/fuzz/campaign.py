@@ -236,7 +236,10 @@ def _instance_worker(
 
     The worker regenerates the instance from ``(seed, family, index)``
     — cheaper than pickling the network over, and exactly what makes the
-    checkpoint format self-contained."""
+    checkpoint format self-contained.  The row records the instance's
+    canonical content fingerprint, so a resume can verify the recorded
+    results still describe the network the generator produces *today*
+    (the header pins the campaign coordinates, not the generator)."""
     family, index = item
     net = generate_instance(seed, family, index)
     policy = policies[index % len(policies)]
@@ -258,7 +261,7 @@ def _instance_worker(
         ),
     ]
     return {"kind": "row", "family": family, "index": index,
-            "results": results}
+            "fingerprint": net.fingerprint(), "results": results}
 
 
 # ----------------------------------------------------------- checkpointing
@@ -454,6 +457,21 @@ def run_campaign(config: CampaignConfig = CampaignConfig()) -> CampaignResult:
                 f"checkpoint row {index} carries family {family!r}, "
                 f"campaign expects {pairs[index][0]!r}"
             )
+        recorded_fp = record.get("fingerprint")
+        if recorded_fp is not None:
+            # value-identity check: the header pins seed/family/budget,
+            # but only the fingerprint catches the generator itself
+            # having changed under a checkpoint (absent in rows written
+            # by older builds — those resume unchecked)
+            actual_fp = networks[index].fingerprint()
+            if recorded_fp != actual_fp:
+                raise ValueError(
+                    f"checkpoint row {index} ({family}) was recorded for "
+                    f"network content {recorded_fp[:12]}…, but the "
+                    f"generator now produces {actual_fp[:12]}…; the "
+                    "instance generator changed — delete the checkpoint "
+                    "and re-run the campaign"
+                )
         for row in record["results"]:
             fold(row["oracle"], family, row["status"], row["extensions"])
             if row["status"] == STATUS_FAIL:

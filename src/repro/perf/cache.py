@@ -1,0 +1,118 @@
+"""Value-keyed shared result cache.
+
+The PR 2 interference memos are *instance-keyed* on purpose: inside one
+process a sweep re-analyses the same immutable master objects thousands
+of times, while benchmark baselines on freshly generated but value-equal
+networks must not get accidental hits.  That design has a deliberate
+blind spot: two value-equal networks built from two different requests
+never share anything.  At service traffic — many clients posting the
+same plant document, near-duplicate admission probes, repeated sweep
+rows — that blind spot *is* the workload.
+
+:class:`ResultCache` closes it one layer up.  It memoises **finished
+analysis results** under a value key derived from the canonical network
+fingerprint (:func:`repro.profibus.serialization.network_fingerprint`)
+plus the analysis coordinates (operation, policy, TTR override, grid,
+…), so identical and repeated requests hit instead of recompute, no
+matter which client or process parsed the document.  The instance-keyed
+memos keep doing their job *within* a single computation; this cache
+decides whether that computation runs at all.
+
+Properties:
+
+* **LRU, bounded.**  ``capacity`` entries; inserting past it evicts the
+  least recently used (an unbounded dict would grow with every distinct
+  network a resident daemon ever sees).
+* **Counted.**  ``hits`` / ``misses`` / ``evictions`` counters and a
+  :meth:`snapshot` dict — surfaced verbatim in the service's session
+  statistics, asserted by the service tests.
+* **Thread-safe.**  One lock around the ordered dict: the asyncio server
+  runs computations on executor threads, and sync clients embed the
+  cache in multi-threaded scripts.
+
+Benchmarks and differential oracles (bench, fuzz, corpus check) never
+consult a ``ResultCache`` — their whole point is recomputation — so the
+honesty argument from PERF.md §2 is preserved: caching is opt-in at the
+:mod:`repro.api` boundary, not ambient in the analysis layer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+DEFAULT_CAPACITY = 4096
+
+
+class ResultCache:
+    """A bounded, counted, thread-safe LRU map from value keys to
+    finished results."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """``(hit, value)`` — a tuple, because ``None`` is a legal
+        cached value (e.g. an infeasible max-TTR)."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return True, self._data[key]
+            self.misses += 1
+            return False, None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            if len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], Any]) -> Tuple[bool, Any]:
+        """``(hit, value)``; on a miss, ``compute()`` runs *outside* the
+        lock (analyses take milliseconds to seconds — holding the lock
+        would serialise every concurrent client on one computation) and
+        the result is stored.  Two racing misses on the same key both
+        compute; results are deterministic, so last-write-wins is safe.
+        """
+        hit, value = self.get(key)
+        if hit:
+            return True, value
+        value = compute()
+        self.put(key, value)
+        return False, value
+
+    def clear(self) -> None:
+        """Drop entries; counters survive (they describe the session)."""
+        with self._lock:
+            self._data.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters + occupancy, in the shape the service's session
+        statistics embed (``cache`` block of the ``stats`` op)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -198,6 +198,22 @@ class Network:
             object.__setattr__(self, "_ring_latency", latency)
             return latency
 
+    def fingerprint(self) -> str:
+        """Canonical content hash (see
+        :func:`repro.profibus.serialization.network_fingerprint`):
+        equal for value-equal networks however they were built, distinct
+        on any semantic change.  Memoised on the instance; the memo is
+        process-local and dropped on pickling like every other derived
+        attribute."""
+        try:
+            return self._fingerprint
+        except AttributeError:
+            from .serialization import network_fingerprint
+
+            value = network_fingerprint(self)
+            object.__setattr__(self, "_fingerprint", value)
+            return value
+
     def with_ttr(self, ttr: int) -> "Network":
         return replace(self, ttr=ttr)
 

@@ -27,6 +27,7 @@ Unknown keys raise immediately (typo protection — a silently-ignored
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, Union
@@ -157,6 +158,44 @@ def network_to_dict(network: Network) -> Dict[str, Any]:
             {"address": s.address, "name": s.name} for s in network.slaves
         ]
     return doc
+
+
+#: Version tag mixed into every fingerprint.  Bump it whenever the
+#: canonical scenario-document form changes meaning (a new semantic
+#: field, a changed default) so stale value-keyed cache entries and
+#: checkpoint rows from older code can never collide with new ones.
+FINGERPRINT_SCHEMA = "profibus-rt/fingerprint/v1"
+
+
+def network_fingerprint(network: Network) -> str:
+    """Canonical content hash of a network — the value-identity key.
+
+    Two networks get the same fingerprint exactly when their canonical
+    scenario documents are identical: the hash runs over the
+    :func:`network_to_dict` form serialised with sorted keys, so field
+    order in a source file, formatting, and default-valued optional
+    fields all normalise away, while any semantic change (a period, a
+    deadline, jitter, PHY parameters, ring order, TTR) changes the
+    digest.  This is the shared-cache key for the analysis service and
+    the identity key for corpus entries and fuzz checkpoints — contexts
+    where *fresh value-equal instances* must collide, which is exactly
+    what the instance-keyed analysis memos intentionally never do.
+    """
+    return network_doc_fingerprint(network_to_dict(network))
+
+
+def network_doc_fingerprint(doc: Dict[str, Any]) -> str:
+    """:func:`network_fingerprint` of an already-canonical scenario
+    document (one produced by :func:`network_to_dict`).  Pure hashing,
+    no (de)serialisation — corpus-entry validation uses this so a stored
+    fingerprint can be audited without flowing through the late-bound
+    serialisation seam the mutation harness patches."""
+    payload = json.dumps(
+        {"schema": FINGERPRINT_SCHEMA, "network": doc},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def load_network(path: Union[str, Path]) -> Network:

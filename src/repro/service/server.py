@@ -1,0 +1,246 @@
+"""The resident asyncio analysis daemon.
+
+Architecture (the single-backend / multi-client proxy shape)::
+
+    client-1 ─┐
+    client-2 ─┤  TCP, JSON lines   ┌──────────────────┐
+    client-N ─┴────────────────────┤  AnalysisServer  │
+                                   │  shared ResultCache
+                                   │  shared worker pool
+                                   └──────────────────┘
+
+One :class:`AnalysisServer` owns **one** value-keyed
+:class:`repro.perf.cache.ResultCache` and **one** worker pool; every
+connected client is multiplexed over both.  A request is served in
+three steps:
+
+1. the envelope is parsed and the api request's **value key** computed
+   (canonical network fingerprint + analysis coordinates) — cheap, on
+   the event loop;
+2. the shared cache is consulted; a hit returns the stored result
+   document without touching the analysis layer at all — this is what
+   makes repeated and near-duplicate traffic cheap;
+3. a miss computes through :func:`repro.api.execute_request_doc` on the
+   worker pool (a shared :class:`~concurrent.futures.ProcessPoolExecutor`
+   when ``workers > 1``, the loop's thread executor otherwise, so the
+   accept loop stays responsive either way), then populates the cache.
+
+Shutdown is graceful by construction: each connection handler races its
+next read against the server-wide stop event, so a ``shutdown`` request
+(or :meth:`AnalysisServer.stop`) lets every **in-flight** request
+complete and flush its response before connections close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from .. import api
+from ..perf.cache import DEFAULT_CAPACITY, ResultCache
+from . import protocol
+from .sessions import SessionRegistry, SessionStats
+
+
+class AnalysisServer:
+    """The resident multi-client analysis service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        cache_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.cache = ResultCache(cache_capacity)
+        self.sessions = SessionRegistry()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._stopping = asyncio.Event()
+        self._client_tasks: set = set()
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns ``(host, port)`` — with
+        ``port=0`` the kernel-assigned port, so scripts and tests can
+        connect without racing a fixed number."""
+        if self.workers > 1:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._server = await asyncio.start_server(
+            self._on_connect, self.host, self.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_until_stopped(self) -> None:
+        """Run until a ``shutdown`` request (or :meth:`stop`) arrives,
+        then drain: stop accepting, let in-flight requests finish, close
+        every connection, shut the pool down."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        if self._client_tasks:
+            await asyncio.gather(*self._client_tasks, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def run(self) -> Tuple[str, int]:
+        """``start`` + ``serve_until_stopped`` in one call (what
+        ``repro-cli serve`` runs)."""
+        bound = await self.start()
+        await self.serve_until_stopped()
+        return bound
+
+    async def stop(self) -> None:
+        self._stopping.set()
+
+    # -- connection handling ---------------------------------------------
+    def _on_connect(self, reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter) -> None:
+        task = asyncio.ensure_future(self._handle_client(reader, writer))
+        self._client_tasks.add(task)
+        task.add_done_callback(self._client_tasks.discard)
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        session = self.sessions.open(peer)
+        stop_wait = asyncio.ensure_future(self._stopping.wait())
+        try:
+            while not self._stopping.is_set():
+                read = asyncio.ensure_future(reader.readline())
+                done, _ = await asyncio.wait(
+                    {read, stop_wait},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if read not in done:
+                    # server stopping while this client sat idle
+                    read.cancel()
+                    break
+                try:
+                    line = read.result()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # request line over MAX_LINE_BYTES: report and drop
+                    # the connection (the stream cannot be resynced)
+                    session.note_request("?")
+                    session.note_error()
+                    writer.write(protocol.encode(protocol.error_response(
+                        None, None, "protocol",
+                        f"request line exceeds {protocol.MAX_LINE_BYTES} "
+                        "bytes",
+                    )))
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # client closed its end
+                # In-flight work completes even if shutdown arrives now:
+                # the stop event is only consulted between requests.
+                response = await self._dispatch(session, line)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except ConnectionError:
+            pass  # client vanished mid-write; its stats stay recorded
+        finally:
+            stop_wait.cancel()
+            self.sessions.close(session)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    # -- dispatch --------------------------------------------------------
+    async def _dispatch(self, session: SessionStats,
+                        line: bytes) -> Dict[str, Any]:
+        request_id: Any = None
+        op: Optional[str] = None
+        try:
+            envelope = protocol.decode_line(line)
+            request_id = envelope.get("id")
+            op, request_id, request_doc = protocol.parse_request(envelope)
+        except protocol.ProtocolError as exc:
+            session.note_request(op or "?")
+            session.note_error()
+            return protocol.error_response(request_id, op, "protocol",
+                                           str(exc))
+        session.note_request(op)
+        try:
+            if op == "ping":
+                session.note_ok()
+                return protocol.result_response(
+                    request_id, op, protocol.ping_result(), False, 0.0
+                )
+            if op == "stats":
+                session.note_ok()
+                return protocol.result_response(
+                    request_id, op, self.stats_doc(), False, 0.0
+                )
+            if op == "shutdown":
+                session.note_ok()
+                self._stopping.set()
+                return protocol.result_response(
+                    request_id, op, {"stopping": True}, False, 0.0
+                )
+            return await self._serve_analysis(session, op, request_id,
+                                              request_doc)
+        except api.ApiError as exc:
+            session.note_error()
+            return protocol.error_response(request_id, op, "bad-request",
+                                           str(exc))
+        except Exception as exc:  # noqa: BLE001 — a fault must not kill
+            session.note_error()   # the daemon, only the one response
+            return protocol.error_response(
+                request_id, op, "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    async def _serve_analysis(
+        self,
+        session: SessionStats,
+        op: str,
+        request_id: Any,
+        request_doc: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        start = time.perf_counter()
+        request = api.AnalysisRequest.from_dict(request_doc)
+        # Value key first (cheap): the fingerprint normalises the
+        # document, so two clients spelling the same plant differently
+        # still share one cache slot.
+        net = api._parse_network(request)
+        key = request.cache_key(net.fingerprint())
+        hit, result_doc = self.cache.get(key)
+        if not hit:
+            loop = asyncio.get_event_loop()
+            result_doc = await loop.run_in_executor(
+                self._pool, api.execute_request_doc, request.to_dict()
+            )
+            self.cache.put(key, result_doc)
+        session.note_ok(cached=hit, counts_cache=True)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return protocol.result_response(request_id, op, result_doc, hit,
+                                        round(elapsed_ms, 3))
+
+    # -- statistics ------------------------------------------------------
+    def stats_doc(self) -> Dict[str, Any]:
+        """The ``stats`` operation's result document (shape documented
+        in PERF.md): server identity, shared-cache counters, per-client
+        session statistics."""
+        return {
+            "server": {
+                "host": self.host,
+                "port": self.port,
+                "workers": self.workers,
+            },
+            "cache": self.cache.snapshot(),
+            "sessions": self.sessions.snapshot(),
+        }

@@ -1,0 +1,92 @@
+"""Per-client session tagging and statistics.
+
+Every connection gets a server-assigned client id (``client-1``,
+``client-2``, …) the moment it is accepted; the id tags the session's
+statistics for the lifetime of the daemon, surviving disconnect — the
+``stats`` operation reports closed sessions too, so a monitoring client
+can audit what an earlier batch client did.  All mutation happens on
+the server's event loop, so the registry needs no locking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class SessionStats:
+    """One client connection's running counters."""
+
+    client_id: str
+    peer: str
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: per-operation request counts (including control ops)
+    ops: Dict[str, int] = field(default_factory=dict)
+    active: bool = True
+
+    def note_request(self, op: str) -> None:
+        self.requests += 1
+        self.ops[op] = self.ops.get(op, 0) + 1
+
+    def note_ok(self, cached: bool = False, counts_cache: bool = False) -> None:
+        self.ok += 1
+        if counts_cache:
+            if cached:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def note_error(self) -> None:
+        self.errors += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "client_id": self.client_id,
+            "peer": self.peer,
+            "active": self.active,
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "ops": dict(sorted(self.ops.items())),
+        }
+
+
+class SessionRegistry:
+    """Assigns client ids and aggregates per-session statistics."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, SessionStats] = {}
+        self._count = 0
+
+    def open(self, peer: str) -> SessionStats:
+        self._count += 1
+        session = SessionStats(client_id=f"client-{self._count}", peer=peer)
+        self._sessions[session.client_id] = session
+        return session
+
+    def close(self, session: SessionStats) -> None:
+        session.active = False
+
+    @property
+    def total(self) -> int:
+        return self._count
+
+    @property
+    def active(self) -> int:
+        return sum(1 for s in self._sessions.values() if s.active)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "total_clients": self.total,
+            "active_clients": self.active,
+            "sessions": {
+                cid: s.snapshot() for cid, s in sorted(self._sessions.items())
+            },
+        }

@@ -1,0 +1,244 @@
+"""Tests for the unified ``repro.api`` facade and the shared result
+cache under it."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.api import AnalysisRequest, AnalysisResult, ApiError
+from repro.perf.cache import ResultCache
+from repro.profibus import analyse, network_to_dict
+from repro.scenarios import factory_cell_network
+
+
+def _net_doc():
+    return network_to_dict(factory_cell_network())
+
+
+def _analyse_request(**overrides):
+    kwargs = dict(op="analyse", network=_net_doc())
+    kwargs.update(overrides)
+    return AnalysisRequest(**kwargs)
+
+
+class TestRequestValidation:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ApiError, match="unknown op"):
+            AnalysisRequest(op="frobnicate", network=_net_doc())
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ApiError, match="unknown policy"):
+            _analyse_request(policy="rm")
+
+    def test_sweep_needs_param(self):
+        with pytest.raises(ApiError, match="sweep_param"):
+            AnalysisRequest(op="sweep", network=_net_doc())
+
+    def test_sweep_needs_values_except_baud(self):
+        with pytest.raises(ApiError, match="sweep_values"):
+            AnalysisRequest(op="sweep", network=_net_doc(),
+                            sweep_param="ttr")
+        # baud defaults to the standard rates
+        AnalysisRequest(op="sweep", network=_net_doc(), sweep_param="baud")
+
+    def test_admission_needs_master_and_stream(self):
+        with pytest.raises(ApiError, match="admission_master"):
+            AnalysisRequest(op="admission", network=_net_doc())
+        with pytest.raises(ApiError, match="admission_stream"):
+            AnalysisRequest(op="admission", network=_net_doc(),
+                            admission_master=9)
+
+    def test_requests_compare_by_value(self):
+        assert _analyse_request() == _analyse_request()
+        assert _analyse_request() != _analyse_request(policy="edf")
+
+
+class TestTransportForms:
+    def test_to_dict_omits_defaults(self):
+        doc = _analyse_request().to_dict()
+        assert set(doc) == {"schema", "op", "network"}
+
+    def test_round_trip_all_fields(self):
+        request = AnalysisRequest(
+            op="sweep", network=_net_doc(), policies=("dm", "edf"),
+            ttr=4000, sweep_param="ttr", sweep_values=(1000, 2000),
+        )
+        doc = json.loads(json.dumps(request.to_dict()))
+        assert AnalysisRequest.from_dict(doc) == request
+
+    def test_from_dict_rejects_unknown_keys(self):
+        doc = _analyse_request().to_dict()
+        doc["polcy"] = "dm"
+        with pytest.raises(ApiError, match="unknown request key"):
+            AnalysisRequest.from_dict(doc)
+
+    def test_from_dict_rejects_wrong_schema(self):
+        doc = _analyse_request().to_dict()
+        doc["schema"] = "profibus-rt/api/v0"
+        with pytest.raises(ApiError, match="unsupported request schema"):
+            AnalysisRequest.from_dict(doc)
+
+    def test_result_round_trip(self):
+        result = api.execute(_analyse_request())
+        doc = json.loads(json.dumps(result.to_dict()))
+        assert AnalysisResult.from_dict(doc) == result
+
+
+class TestAnalyse:
+    def test_matches_compute_core(self):
+        net = factory_cell_network()
+        result = api.analyse_network(net, policy="dm")
+        core = analyse(net, "dm")
+        assert result.schedulable == core.schedulable
+        rows = {(r["master"], r["stream"]): r["R"]
+                for r in result.payload["streams"]}
+        for sr in core.per_stream:
+            assert rows[(sr.master, sr.stream.name)] == sr.R
+
+    def test_ttr_override(self):
+        with_override = api.analyse_network(factory_cell_network(), ttr=5000)
+        assert with_override.payload["ttr"] == 5000
+
+    def test_bad_network_is_api_error(self):
+        with pytest.raises(ApiError, match="bad network document"):
+            api.execute(AnalysisRequest(op="analyse", network={"bogus": 1}))
+
+
+class TestSweep:
+    def test_rows_and_csv_match_compute_core(self):
+        from repro.profibus.sweep import rows_to_csv, ttr_sweep
+
+        net = factory_cell_network()
+        result = api.sweep_network(net, "ttr", (2000, 3000))
+        rows = ttr_sweep(net, (2000, 3000))
+        assert result.payload["csv"] == rows_to_csv(rows)
+        assert len(result.payload["rows"]) == len(rows)
+
+
+class TestAdmission:
+    STREAM = {"name": "new-sensor", "T": 120_000, "D": 60_000,
+              "cycle": {"req_payload": 0, "resp_payload": 8}}
+
+    def test_harmless_stream_admitted_with_headroom(self):
+        result = api.admission_check(factory_cell_network(), 2, self.STREAM)
+        payload = result.payload
+        assert payload["admitted"] is True
+        assert result.schedulable is True
+        assert payload["broken_streams"] == []
+        assert payload["headroom"]["max_feasible_ttr"] is not None
+        assert 0 < payload["headroom"]["deadline_tightening_limit"] <= 1
+
+    def test_joining_stream_appears_in_after(self):
+        result = api.admission_check(factory_cell_network(), 2, self.STREAM)
+        after = {(r["master"], r["stream"])
+                 for r in result.payload["after"]["streams"]}
+        before = {(r["master"], r["stream"])
+                  for r in result.payload["before"]["streams"]}
+        joined = after - before
+        assert len(joined) == 1
+        assert next(iter(joined))[1] == "new-sensor"
+
+    def test_hostile_stream_rejected_with_broken_list(self):
+        hog = {"name": "hog", "T": 20_000, "D": 4_000,
+               "cycle": {"req_payload": 128, "resp_payload": 128}}
+        result = api.admission_check(factory_cell_network(), 1, hog)
+        assert result.payload["admitted"] is False
+        assert result.payload["headroom"]["max_feasible_ttr"] is None
+
+    def test_fresh_master_joins_ring(self):
+        result = api.admission_check(factory_cell_network(), 9, self.STREAM)
+        masters = {r["master"] for r in result.payload["after"]["streams"]}
+        assert "M9" in masters
+
+    def test_duplicate_stream_name_rejected(self):
+        dup = dict(self.STREAM, name="io-scan-a")
+        with pytest.raises(ApiError, match="already has a stream"):
+            api.admission_check(factory_cell_network(), 2, dup)
+
+
+class TestCaching:
+    def test_identical_requests_hit(self):
+        cache = ResultCache()
+        result1, hit1 = api.execute_cached(_analyse_request(), cache=cache)
+        result2, hit2 = api.execute_cached(_analyse_request(), cache=cache)
+        assert (hit1, hit2) == (False, True)
+        assert result1 == result2
+        assert cache.snapshot()["hits"] == 1
+
+    def test_value_equal_spellings_collide(self):
+        # same content, different document spelling (key order)
+        doc_a = _net_doc()
+        doc_b = json.loads(json.dumps(doc_a))
+        doc_b["masters"] = [dict(reversed(list(m.items())))
+                            for m in doc_b["masters"]]
+        cache = ResultCache()
+        _, miss = api.execute_cached(
+            AnalysisRequest(op="analyse", network=doc_a), cache=cache)
+        _, hit = api.execute_cached(
+            AnalysisRequest(op="analyse", network=doc_b), cache=cache)
+        assert (miss, hit) == (False, True)
+
+    def test_different_coordinates_miss(self):
+        cache = ResultCache()
+        api.execute_cached(_analyse_request(), cache=cache)
+        _, hit_policy = api.execute_cached(_analyse_request(policy="edf"),
+                                           cache=cache)
+        _, hit_ttr = api.execute_cached(_analyse_request(ttr=5000),
+                                        cache=cache)
+        assert hit_policy is False and hit_ttr is False
+
+    def test_no_cache_recomputes(self):
+        result1, hit1 = api.execute_cached(_analyse_request())
+        result2, hit2 = api.execute_cached(_analyse_request())
+        assert (hit1, hit2) == (False, False)
+        assert result1 == result2
+
+    def test_cached_and_fresh_results_identical(self):
+        cache = ResultCache()
+        fresh = api.execute(_analyse_request())
+        api.execute(_analyse_request(), cache=cache)
+        cached = api.execute(_analyse_request(), cache=cache)
+        assert cached.to_dict() == fresh.to_dict()
+
+
+class TestResultCache:
+    def test_lru_eviction_and_counters(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == (True, 1)  # refreshes a
+        cache.put("c", 3)                   # evicts b
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        snap = cache.snapshot()
+        assert snap["evictions"] == 1
+        assert snap["size"] == 2 == len(cache)
+
+    def test_get_or_compute(self):
+        cache = ResultCache()
+        calls = []
+        hit, value = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert (hit, value) == (False, 42)
+        hit, value = cache.get_or_compute("k", lambda: calls.append(1) or 43)
+        assert (hit, value) == (True, 42)
+        assert len(calls) == 1
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.snapshot()["hits"] == 1
+
+
+class TestExecuteRequestDoc:
+    def test_dict_in_dict_out(self):
+        doc = api.execute_request_doc(_analyse_request().to_dict())
+        assert doc["schema"] == api.API_SCHEMA
+        assert doc == api.execute(_analyse_request()).to_dict()
+
+    def test_result_doc_json_stable(self):
+        doc = api.execute_request_doc(_analyse_request().to_dict())
+        assert json.loads(json.dumps(doc)) == doc

@@ -177,6 +177,27 @@ class TestShippedCorpus:
 
 # ------------------------------------------------------ mutation strength
 
+class TestPooledCheck:
+    """``corpus check --workers N``: entries are independent, so the
+    pooled report must be identical to the serial one (the container
+    may only have one core — equality, not wall-clock, is the test)."""
+
+    IDS = ("probe:event-order", "scenario:single-master")
+
+    def test_pooled_report_matches_serial(self):
+        serial = check_corpus(REPO_CORPUS, entry_ids=self.IDS)
+        pooled = check_corpus(REPO_CORPUS, entry_ids=self.IDS, workers=2)
+        assert pooled.ok
+        assert pooled.results == serial.results
+        assert pooled.format_lines(verbose=True) == \
+            serial.format_lines(verbose=True)
+
+    def test_pooled_check_cli(self, capsys):
+        assert main(["corpus", "check", "--dir", str(REPO_CORPUS),
+                     "--entry", "probe:event-order", "--workers", "2"]) == 0
+        assert "1/1 entries bit-exact" in capsys.readouterr().out
+
+
 class TestMutationStrength:
     def test_all_mutants_killed(self):
         report = run_mutation_harness(REPO_CORPUS)
@@ -292,6 +313,33 @@ class TestPromotion:
         assert entries["fuzz:tight-ttr#3@seed7:sweep_scaling:edf"] \
             .config["validation"]["policy"] == "edf"
 
+    def test_same_content_under_new_coordinates_is_value_deduped(
+            self, tmp_path):
+        """A counterexample whose *network content* is already frozen —
+        even under different fuzz coordinates (index/seed), i.e. a
+        different entry id — is skipped: the fingerprint value key, not
+        the name, decides what counts as already-promoted."""
+        promote_report_doc(_fake_report_doc(single_master_network()),
+                           tmp_path)
+        again = promote_report_doc(
+            _fake_report_doc(single_master_network(), index=9, seed=11),
+            tmp_path)
+        assert again.ok
+        assert again.added == []
+        assert again.skipped == ["fuzz:tight-ttr#9@seed11:sweep_scaling:dm"]
+        assert len(load_corpus(tmp_path)) == 1
+
+    def test_same_content_different_oracle_still_promotes(self, tmp_path):
+        """The value key is (fingerprint, oracle, policy): the same
+        network failing a *different* oracle is new evidence."""
+        promote_report_doc(_fake_report_doc(single_master_network()),
+                           tmp_path)
+        other = promote_report_doc(
+            _fake_report_doc(single_master_network(), oracle="soundness"),
+            tmp_path)
+        assert other.added == ["fuzz:tight-ttr#3@seed7:soundness:dm"]
+        assert len(load_corpus(tmp_path)) == 2
+
     def test_torn_promoted_line_does_not_block_promotion(self, tmp_path):
         """A kill mid-append leaves a partial trailing line; the next
         promotion must treat that entry as not-yet-recorded instead of
@@ -306,9 +354,11 @@ class TestPromotion:
         result = promote_report_doc(doc, tmp_path)
         assert result.ok
         assert result.skipped  # the intact line still counts as present
-        # a NEW counterexample lands on a fresh line (torn tail dropped:
-        # it was never durably recorded, so nothing is lost)
-        doc2 = _fake_report_doc(single_master_network(), index=9)
+        # a NEW counterexample (different network content — same content
+        # would be skipped by the fingerprint value-dedup) lands on a
+        # fresh line (torn tail dropped: it was never durably recorded,
+        # so nothing is lost)
+        doc2 = _fake_report_doc(single_master_network(n_streams=3), index=9)
         result2 = promote_report_doc(doc2, tmp_path)
         assert result2.added
         entries = load_corpus(tmp_path)  # strict parse: file fully valid

@@ -145,3 +145,71 @@ class TestDefaultAwareFilter:
         assert "high_priority" not in stream_doc
         cycle = stream_doc["cycle"]
         assert set(cycle) == {"req_payload"}  # all other fields at default
+
+
+class TestFingerprint:
+    """The canonical content fingerprint: the value-identity key shared
+    by the service cache, corpus entries and fuzz checkpoints."""
+
+    def test_spellings_of_fingerprint_agree(self):
+        from repro.profibus.serialization import (
+            network_doc_fingerprint,
+            network_fingerprint,
+        )
+
+        net = factory_cell_network()
+        fp = net.fingerprint()
+        assert fp == network_fingerprint(net)
+        assert fp == network_doc_fingerprint(network_to_dict(net))
+        assert len(fp) == 64 and int(fp, 16) >= 0  # a sha256 hex digest
+
+    def test_stable_across_round_trip(self, tmp_path):
+        net = factory_cell_network()
+        save_network(net, tmp_path / "net.json")
+        assert load_network(tmp_path / "net.json").fingerprint() == \
+            net.fingerprint()
+
+    def test_stable_across_document_spelling(self):
+        net = factory_cell_network()
+        doc = network_to_dict(net)
+        respelled = json.loads(json.dumps(doc))
+        # reorder keys and spell a default-valued optional field out
+        respelled["masters"] = [dict(reversed(list(m.items())))
+                                for m in respelled["masters"]]
+        for master in respelled["masters"]:
+            for stream in master["streams"]:
+                stream.setdefault("J", 0)
+        assert network_from_dict(respelled).fingerprint() == net.fingerprint()
+
+    def test_stable_across_pickle(self):
+        import pickle
+
+        net = factory_cell_network()
+        fp = net.fingerprint()  # memoise, then drop the memo on pickle
+        clone = pickle.loads(pickle.dumps(net))
+        assert "_fingerprint" not in clone.__dict__
+        assert clone.fingerprint() == fp
+
+    def test_semantic_changes_diverge(self):
+        net = factory_cell_network()
+        base_doc = network_to_dict(net)
+        fingerprints = {net.fingerprint()}
+
+        def variant(mutate):
+            doc = json.loads(json.dumps(base_doc))
+            mutate(doc)
+            return network_from_dict(doc).fingerprint()
+
+        def set_stream(doc, key, value):
+            doc["masters"][0]["streams"][0][key] = value
+
+        fingerprints.add(variant(lambda d: set_stream(d, "T", 999_999)))
+        fingerprints.add(variant(lambda d: set_stream(d, "D", 1_234)))
+        fingerprints.add(variant(lambda d: set_stream(d, "J", 77)))
+        fingerprints.add(variant(
+            lambda d: d.__setitem__("ttr", d["ttr"] + 1)))
+        fingerprints.add(variant(
+            lambda d: d["phy"].__setitem__("baud_rate", 93_750)))
+        fingerprints.add(variant(
+            lambda d: d["masters"].reverse()))  # ring order is semantic
+        assert len(fingerprints) == 7  # every mutation changed the digest
