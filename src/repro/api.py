@@ -44,6 +44,7 @@ from fractions import Fraction
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .perf.cache import ResultCache
+from .perf.config import ANALYSIS_MODES, analysis_mode_set
 from .profibus import serialization as serialization_mod
 from .profibus import sweep as sweep_mod
 from .profibus import ttr as ttr_mod
@@ -93,10 +94,19 @@ class AnalysisRequest:
     admission_master: Optional[int] = None
     #: admission only: the candidate stream document
     admission_stream: Optional[Dict[str, Any]] = None
+    #: analysis mode override (``generic``/``fast``/``vectorized``);
+    #: ``None`` = the serving process's default.  All modes answer
+    #: bit-identically (the PERF.md contract) — the knob exists for
+    #: benchmarking and cross-checking through the same transport.
+    mode: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.op not in OPS:
             raise ApiError(f"unknown op {self.op!r}; pick from {list(OPS)}")
+        if self.mode is not None and self.mode not in ANALYSIS_MODES:
+            raise ApiError(
+                f"unknown mode {self.mode!r}; pick from {list(ANALYSIS_MODES)}"
+            )
         if not isinstance(self.network, dict):
             raise ApiError("request network must be a scenario document")
         if self.policy not in POLICIES:
@@ -146,6 +156,7 @@ class AnalysisRequest:
             "sweep_values": list(self.sweep_values),
             "admission_master": self.admission_master,
             "admission_stream": self.admission_stream,
+            "mode": self.mode,
         }, sort_keys=True, separators=(",", ":"))
 
     # -- schema-versioned transport forms --------------------------------
@@ -161,7 +172,8 @@ class AnalysisRequest:
             for f in dataclasses.fields(self)
         }
         for name in ("policy", "policies", "ttr", "refined", "sweep_param",
-                     "sweep_values", "admission_master", "admission_stream"):
+                     "sweep_values", "admission_master", "admission_stream",
+                     "mode"):
             value = getattr(self, name)
             if value != defaults[name]:
                 doc[name] = list(value) if isinstance(value, tuple) else value
@@ -178,7 +190,7 @@ class AnalysisRequest:
             )
         allowed = {"schema", "op", "network", "policy", "policies", "ttr",
                    "refined", "sweep_param", "sweep_values",
-                   "admission_master", "admission_stream"}
+                   "admission_master", "admission_stream", "mode"}
         unknown = set(doc) - allowed
         if unknown:
             raise ApiError(
@@ -190,7 +202,7 @@ class AnalysisRequest:
                 raise ApiError(f"request missing key {key!r}")
         kwargs: Dict[str, Any] = {"op": doc["op"], "network": doc["network"]}
         for name in ("policy", "ttr", "refined", "sweep_param",
-                     "admission_master", "admission_stream"):
+                     "admission_master", "admission_stream", "mode"):
             if name in doc:
                 kwargs[name] = doc[name]
         if "policies" in doc:
@@ -463,12 +475,20 @@ def execute_cached(
     """
     net = _parse_network(request)
     fingerprint = net.fingerprint()
+
+    def compute() -> AnalysisResult:
+        # A mode override scopes the whole computation: every analysis
+        # kernel under this op (including pooled workers, which inherit
+        # the mode through the chunk payload) runs in the requested mode.
+        if request.mode is None:
+            return _COMPUTE[request.op](request, net, fingerprint, workers)
+        with analysis_mode_set(request.mode):
+            return _COMPUTE[request.op](request, net, fingerprint, workers)
+
     if cache is None:
-        return _COMPUTE[request.op](request, net, fingerprint, workers), False
+        return compute(), False
     key = request.cache_key(fingerprint)
-    hit, result = cache.get_or_compute(
-        key, lambda: _COMPUTE[request.op](request, net, fingerprint, workers)
-    )
+    hit, result = cache.get_or_compute(key, compute)
     return result, hit
 
 
@@ -504,12 +524,13 @@ def analyse_network(
     ttr: Optional[int] = None,
     refined: bool = False,
     cache: Optional[ResultCache] = None,
+    mode: Optional[str] = None,
 ) -> AnalysisResult:
     """Typed form of the classic ``ttr.analyse`` call (which remains as
     the compute core; new code should prefer this entrypoint)."""
     return execute(
         AnalysisRequest(op="analyse", network=_network_doc(network),
-                        policy=policy, ttr=ttr, refined=refined),
+                        policy=policy, ttr=ttr, refined=refined, mode=mode),
         cache=cache,
     )
 
@@ -522,13 +543,14 @@ def sweep_network(
     ttr: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     workers: int = 1,
+    mode: Optional[str] = None,
 ) -> AnalysisResult:
     """Typed form of the sweep drivers (grid in, rows + CSV out)."""
     return execute(
         AnalysisRequest(op="sweep", network=_network_doc(network),
                         policies=tuple(policies), ttr=ttr,
                         sweep_param=sweep_param,
-                        sweep_values=tuple(sweep_values)),
+                        sweep_values=tuple(sweep_values), mode=mode),
         cache=cache,
         workers=workers,
     )

@@ -78,7 +78,8 @@ def _cmd_analyse(args) -> int:
 
     net = _load_network(args)
     payload = api.analyse_network(net, policy=args.policy,
-                                  refined=args.refined).payload
+                                  refined=args.refined,
+                                  mode=args.mode).payload
     phy = net.phy
     print(f"scenario={args.scenario} policy={args.policy} "
           f"TTR={payload['ttr']} ({phy.ms(payload['ttr']):.2f} ms) "
@@ -160,7 +161,7 @@ def _cmd_sweep(args) -> int:
         raise SystemExit(f"unknown sweep parameter {args.param!r}")
     try:
         result = api.sweep_network(net, args.param, values,
-                                   workers=args.workers)
+                                   workers=args.workers, mode=args.mode)
     except api.ApiError as exc:
         raise SystemExit(str(exc))
     print(result.payload["csv"], end="")
@@ -216,6 +217,7 @@ def _cmd_bench(args) -> int:
         seed=args.seed,
         rounds=args.rounds,
         check=not args.no_check,
+        modes=tuple(args.mode) if args.mode else None,
     )
     for line in format_report(report):
         print(line)
@@ -485,8 +487,15 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--policy", default="dm",
                            choices=("fcfs", "dm", "edf"))
 
+    def add_mode(p):
+        p.add_argument("--mode", default=None,
+                       choices=("generic", "fast", "vectorized"),
+                       help="analysis mode override; every mode answers "
+                            "bit-identically (default: process default)")
+
     p = sub.add_parser("analyse", help="per-stream worst-case response times")
     add_common(p)
+    add_mode(p)
     p.set_defaults(func=_cmd_analyse)
 
     p = sub.add_parser("ttr", help="maximum feasible TTR per policy")
@@ -529,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool size for the sweep grid "
                         "(default: serial)")
+    add_mode(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -545,7 +555,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="BENCH_batch.json",
                    help="output JSON path")
     p.add_argument("--no-check", action="store_true",
-                   help="skip the fast/generic result-equality check")
+                   help="skip the cross-mode result-equality check")
+    p.add_argument("--mode", nargs="*", default=None,
+                   choices=("generic", "fast", "vectorized"),
+                   help="restrict the benchmark to these analysis modes "
+                        "(default: all; parallel rows always use the "
+                        "process default)")
     p.set_defaults(func=_cmd_bench)
 
     from .fuzz.families import FAMILIES

@@ -14,12 +14,16 @@ Sections:
 ``analysis``
     Per-policy per-stream response times and ``Tcycle`` from
     :func:`repro.profibus.ttr.analyse`, evaluated on the fast kernel
-    path **and** the generic exact path, at the entry's own TTR and at
-    a probe TTR (``config["ttr_probe"]``) — the probe re-analyses the
-    *same* master objects at a second ``Tcycle``, so a cache that goes
-    stale across analysis inputs cannot return the first answer twice
-    unnoticed.  Plus the batch summaries from
-    :func:`repro.perf.batch.analyse_many` in both modes.
+    path, the generic exact path **and** the structure-of-arrays vector
+    kernels (:func:`repro.perf.vector.response_rows` — whichever
+    backend is active, numpy or the pure-python fallback; the frozen
+    values are backend-independent by the bit-equality contract), at
+    the entry's own TTR and at a probe TTR (``config["ttr_probe"]``) —
+    the probe re-analyses the *same* master objects at a second
+    ``Tcycle``, so a cache that goes stale across analysis inputs
+    cannot return the first answer twice unnoticed.  Plus the batch
+    summaries from :func:`repro.perf.batch.analyse_many` in all three
+    modes.
 ``sweep``
     ``deadline_scale_sweep`` / ``ttr_sweep`` / ``baud_sweep`` rows at
     pinned grids, and a digest of their ``rows_to_csv`` rendering
@@ -34,9 +38,9 @@ Sections:
 
 Besides comparing recomputations against the frozen goldens,
 :func:`check_network_golden` enforces two **self-consistency oracles**
-that do not depend on the stored values at all: the fast and generic
-analysis modes must agree with each other, and the scenario document
-must be a round-trip fixed point.  A counterexample promoted into the
+that do not depend on the stored values at all: the fast and vectorized
+analysis modes must each agree with the generic one, and the scenario
+document must be a round-trip fixed point.  A counterexample promoted into the
 corpus *before* its bug is fixed therefore keeps failing ``corpus
 check`` even though its goldens were recorded under the bug; once the
 fix lands, ``corpus record --update`` refreezes the corrected values.
@@ -47,6 +51,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..perf import batch as batch_mod
+from ..perf import vector as vector_mod
 from ..perf.config import set_fast_path
 from ..profibus import serialization as serialization_mod
 from ..profibus import sweep as sweep_mod
@@ -113,11 +118,13 @@ def _analysis_rows(network: Network, policy: str,
     }
 
 
-def _batch_rows(network: Network, policies: Sequence[str]) -> List[List[Any]]:
+def _batch_rows(network: Network, policies: Sequence[str],
+                mode: Optional[str] = None) -> List[List[Any]]:
     return [
         [r.index, r.policy, r.schedulable, r.worst_response, r.worst_slack,
          r.tcycle]
-        for r in batch_mod.analyse_many([network], policies, workers=1)
+        for r in batch_mod.analyse_many([network], policies, workers=1,
+                                        mode=mode)
     ]
 
 
@@ -146,6 +153,18 @@ def _compute_analysis(network: Network, config: Dict[str, Any]) -> Dict[str, Any
         finally:
             set_fast_path(previous)
         out["modes"][mode] = {"base": base, "probe": probe, "batch": batch}
+    # Third leg: the SoA vector kernels.  ``response_rows`` returns the
+    # exact ``_analysis_rows`` shape, so the three mode documents stay
+    # directly comparable (the kernel-equivalence oracle below relies
+    # on that).
+    out["modes"]["vectorized"] = {
+        "base": {p: vector_mod.response_rows(network, p) for p in policies},
+        "probe": {
+            p: vector_mod.response_rows(network, p, ttr=config["ttr_probe"])
+            for p in policies
+        },
+        "batch": _batch_rows(network, policies, mode="vectorized"),
+    }
     return out
 
 
@@ -266,13 +285,17 @@ def check_network_golden(
             detail = first_difference(golden[section], recomputed) or "differs"
             mismatches.append((section, detail))
         if section == "analysis":
-            fast = recomputed["modes"]["fast"]
-            generic = recomputed["modes"]["generic"]
-            if canonical_json(fast) != canonical_json(generic):
-                mismatches.append((
-                    "analysis:kernel-equivalence",
-                    first_difference(generic, fast) or "fast != generic",
-                ))
+            modes = recomputed["modes"]
+            generic = modes["generic"]
+            for other in ("fast", "vectorized"):
+                if other not in modes:
+                    continue  # goldens frozen before the mode existed
+                if canonical_json(modes[other]) != canonical_json(generic):
+                    mismatches.append((
+                        "analysis:kernel-equivalence",
+                        first_difference(generic, modes[other])
+                        or f"{other} != generic",
+                    ))
         if section == "roundtrip":
             redoc = serialization_mod.network_to_dict(network)
             if canonical_json(redoc) != canonical_json(network_doc):

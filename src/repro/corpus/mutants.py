@@ -34,6 +34,11 @@ Catalogue (each entry names the layer it corrupts):
   events MAC-first, so a request released at the token-arrival instant
   misses that token visit (inverts the engine's determinism contract;
   killed by the dedicated ``probe:event-order`` corpus entry).
+* ``vec-int32-truncation`` — the vector engine's packing seam narrows
+  every stream attribute to int32 (the classic dtype-downcast
+  regression a numpy rewrite invites); killed by the dedicated
+  ``probe:wide-values`` corpus entry whose periods and deadlines exceed
+  2³², so the wraparound silently analyses a much smaller network.
 
 Mutants patch module attributes inside a context manager and restore
 them afterwards, so the harness leaves the process clean even on error.
@@ -280,6 +285,22 @@ def _sim_mac_before_release():
     return _patched((engine_mod.Simulator, "schedule", swapped_schedule))
 
 
+# -------------------------------------------------------- vector mutants
+
+def _vec_int32_truncation():
+    from ..perf import vector as vector_mod
+
+    def truncating_pack_value(v):
+        # BUG: int32 wraparound at the SoA packing seam — values beyond
+        # 2³¹ re-enter as small (or negative) ints and the vector
+        # kernels analyse a different network than the one given.
+        # Values above 2³² wrap to small *positives*, so the mutant
+        # produces wrong-but-computable goldens rather than a crash.
+        return ((v + 2**31) % 2**32) - 2**31
+
+    return _patched((vector_mod, "_pack_value", truncating_pack_value))
+
+
 MUTANTS: Dict[str, Mutant] = {
     m.name: m
     for m in (
@@ -318,6 +339,10 @@ MUTANTS: Dict[str, Mutant] = {
                "same-instant token-bus events fire MAC before releases "
                "(the t=0 critical instant goes unobserved)",
                ("validation",), _sim_mac_before_release),
+        Mutant("vec-int32-truncation",
+               "vector packing seam narrows stream attributes to int32 "
+               "(values beyond 2^31 wrap around)",
+               ("analysis",), _vec_int32_truncation),
     )
 }
 

@@ -7,6 +7,8 @@ The seeded corpus ships as:
 * ``event-order.jsonl`` — the DES event-ordering probe (name sorts
   first, so mutation-harness kills meet it before anything else);
 * ``scenarios.jsonl`` — the three built-in scenarios;
+* ``wide-values.jsonl`` — the >2³² magnitude probe that keeps the
+  vector engine's packing seam honest about integer width;
 * ``fuzz.jsonl`` — one exemplar instance per fuzz family, recorded at a
   pinned campaign seed;
 * ``promoted.jsonl`` — shrunk counterexamples promoted from fuzz
@@ -88,6 +90,47 @@ def event_order_probe_network() -> "Network":
     ))
     net = Network(masters=(m1, m2), phy=PhyParameters(baud_rate=500_000))
     return net.with_ttr(max(600, net.ring_latency()))
+
+
+#: Validation horizon for the wide-values probe — the streams' periods
+#: dwarf any feasible horizon, so a few token rotations cover the one
+#: synchronous release each stream gets.
+WIDE_VALUES_PROBE_HORIZON = 12_000
+
+
+def wide_values_probe_network() -> "Network":
+    """A network whose periods and deadlines exceed 2³² — the dtype
+    canary for the structure-of-arrays vector engine.
+
+    Every stream attribute stays well under the engine's
+    ``_PACK_LIMIT`` (2⁴⁴), so the network takes the vector path rather
+    than the scalar fallback — but any packing seam that narrows to
+    int32 (the ``vec-int32-truncation`` mutant) wraps these magnitudes
+    around to *small positive* values and silently analyses a much
+    tighter network, which the frozen goldens catch.  Magnitudes sit
+    above 2³² (not merely 2³¹) exactly so the wraparound lands positive:
+    a wrong-but-computable analysis kills through a golden mismatch,
+    where a negative-period crash would abort the check instead.
+    """
+    from ..profibus.cycle import MessageCycleSpec
+    from ..profibus.network import Master
+    from ..profibus.phy import PhyParameters
+    from ..profibus.stream import MessageStream
+
+    wide = 1 << 32
+    spec = MessageCycleSpec(req_payload=2, resp_payload=2)
+    m1 = Master(1, (
+        MessageStream("slow-scan", T=wide + 4_000, D=wide + 2_000,
+                      spec=spec),
+        MessageStream("slow-log", T=wide + 8_000, D=wide + 3_000,
+                      J=wide + 500, spec=spec),
+    ))
+    m2 = Master(2, (
+        MessageStream("slow-sync", T=wide + 6_000, D=wide + 2_500,
+                      spec=spec),
+    ))
+    net = Network(masters=(m1, m2), phy=PhyParameters(baud_rate=500_000))
+    return net.with_ttr(max(900, net.ring_latency()))
 
 
 #: A second factory-cell entry pins a horizon *shorter than several
@@ -288,6 +331,23 @@ def seed_entries() -> List[Tuple[str, CorpusEntry]]:
                          "meets this entry before any other"),
             },
             validation_horizon=EVENT_ORDER_PROBE_HORIZON,
+        ),
+    ))
+    out.append((
+        "wide-values.jsonl",
+        record_network(
+            wide_values_probe_network(),
+            entry_id="probe:wide-values",
+            provenance={
+                "source": "probe",
+                "note": ("periods/deadlines/jitter beyond 2^32 make this "
+                         "the dtype canary for the vector engine: an "
+                         "int32-narrowing packing seam (the "
+                         "vec-int32-truncation mutant) wraps them to "
+                         "small positives and the frozen analysis "
+                         "goldens diverge"),
+            },
+            validation_horizon=WIDE_VALUES_PROBE_HORIZON,
         ),
     ))
     for family in sorted(SEED_FUZZ_EXEMPLARS):

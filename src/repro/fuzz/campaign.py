@@ -6,8 +6,9 @@ A campaign is a pure function of ``(seed, budget, families, policies)``:
    pure function of ``(seed, family, index)``;
 2. run the **kernel-equivalence oracle at scale**: the whole
    (network × policy) grid goes through :func:`repro.perf.batch.analyse_many`
-   twice — fast paths on, then the generic exact path — over the process
-   pool (``workers=N``), and the two row lists must be bit-identical;
+   once per analysis mode — generic exact, fast scalar kernels, and the
+   structure-of-arrays vector kernels — over the process pool
+   (``workers=N``), and the three row lists must be bit-identical;
 3. run the **per-instance oracles** — **round-trip**, **sweep-scaling**
    (with a seeded scale factor) and **token-bus soundness** (soundness
    rotates through the policies so a budget-``n`` campaign simulates
@@ -52,7 +53,6 @@ from typing import (
 )
 
 from ..perf.batch import analyse_many, pooled_imap
-from ..perf.config import set_fast_path
 from ..profibus.network import Network
 from .families import FAMILIES, family_rng, generate_instance
 from .oracles import (
@@ -202,12 +202,8 @@ def _sweep_factor(seed: int, family: str, index: int) -> float:
 
 
 def _batch_rows(networks: Sequence[Network], policies: Sequence[str],
-                workers: Optional[int], fast: bool):
-    previous = set_fast_path(fast)
-    try:
-        return analyse_many(networks, policies, workers=workers)
-    finally:
-        set_fast_path(previous)
+                workers: Optional[int], mode: str):
+    return analyse_many(networks, policies, workers=workers, mode=mode)
 
 
 def _outcome_doc(oracle: str, outcome: OracleOutcome,
@@ -401,21 +397,23 @@ def run_campaign(config: CampaignConfig = CampaignConfig()) -> CampaignResult:
         # Deterministic and cheap next to the simulations, so a resumed
         # campaign simply recomputes it.
         t0 = time.perf_counter()
-        fast_rows = _batch_rows(networks, config.policies, config.workers,
-                                True)
         generic_rows = _batch_rows(networks, config.policies, config.workers,
-                                   False)
+                                   "generic")
+        fast_rows = _batch_rows(networks, config.policies, config.workers,
+                                "fast")
+        vector_rows = _batch_rows(networks, config.policies, config.workers,
+                                  "vectorized")
         mismatched = {
-            f.index
-            for f, g in zip(fast_rows, generic_rows)
-            if f != g
+            g.index
+            for g, f, v in zip(generic_rows, fast_rows, vector_rows)
+            if f != g or v != g
         }
         for (family, index), net in zip(pairs, networks):
             if index in mismatched:
                 # the pooled sweep found it; the per-instance check
                 # supplies the detailed divergence
                 outcome = check_kernel_equivalence(net, config.policies)
-                detail = outcome.detail or "batch fast/generic rows diverge"
+                detail = outcome.detail or "batch mode rows diverge"
                 fold(ORACLE_KERNEL, family, STATUS_FAIL, 0)
                 failures.append(_Failure(
                     ORACLE_KERNEL, family, index, None, None, detail,
@@ -554,6 +552,18 @@ def _predicate_for(failure: _Failure,
     if failure.oracle == ORACLE_ROUNDTRIP:
         return lambda n: check_roundtrip(n).failed
     if failure.oracle == ORACLE_KERNEL:
+        if (failure.detail or "").startswith("vectorized:"):
+            # A vectorized-only divergence (fast == generic, vector leg
+            # differs) must shrink against *that* divergence — the plain
+            # `.failed` predicate would let the shrinker wander onto an
+            # unrelated fast/generic disagreement and minimise the wrong
+            # bug.
+            def vec_only(n: Network) -> bool:
+                outcome = check_kernel_equivalence(n, config.policies)
+                return (outcome.failed
+                        and outcome.detail.startswith("vectorized:"))
+
+            return vec_only
         return lambda n: check_kernel_equivalence(n, config.policies).failed
     if failure.oracle == ORACLE_SWEEP:
         return lambda n: check_sweep_scaling(

@@ -8,8 +8,12 @@ evaluate on one network:
   counted **against** the bound (see :mod:`repro.sim.validate`), not
   ignored — a network whose messages never finish cannot vacuously pass.
 * :func:`check_kernel_equivalence` — the generic exact fixed-point path
-  vs the ``repro.perf`` integer kernels, bit-equality on every
-  per-stream response and on the batch-driver summaries.
+  vs the ``repro.perf`` integer kernels vs the structure-of-arrays
+  vector kernels (:mod:`repro.perf.vector`), three-way bit-equality on
+  every per-stream response and on the batch-driver summaries.  The
+  vector leg runs on whichever backend is active — numpy when
+  importable, the pure-python fallback otherwise — so the oracle is
+  meaningful on numpy-free machines too.
 * :func:`check_roundtrip` — ``network_from_dict(network_to_dict(n))``
   must reproduce ``n`` exactly (and re-serialise to the same document).
 * :func:`check_sweep_scaling` — the sweep layer vs an independent
@@ -28,6 +32,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+from ..perf import vector
 from ..perf.batch import analyse_many
 from ..perf.config import fast_path_disabled, set_fast_path
 from ..profibus import sweep as sweep_mod
@@ -179,12 +184,21 @@ def check_soundness(
 
 # ------------------------------------------------------- kernel equivalence
 
+def _rows_diff(g_rows, other_rows):
+    if len(g_rows) != len(other_rows):
+        return (g_rows, other_rows)
+    return next(
+        ((a, b) for a, b in zip(g_rows, other_rows) if a != b), None
+    )
+
+
 def check_kernel_equivalence(
     network: Network,
     policies: Sequence[str] = DEFAULT_POLICIES,
 ) -> OracleOutcome:
-    """Generic exact path vs the ``repro.perf`` kernels, bit-equality on
-    per-stream responses, ``Tcycle`` and the batch-driver summaries."""
+    """Generic exact path vs the ``repro.perf`` scalar kernels vs the
+    vector kernels — three-way bit-equality on per-stream responses,
+    ``Tcycle`` and the batch-driver summaries."""
     for policy in policies:
         with fast_path_disabled():
             generic = analyse(network, policy)
@@ -202,12 +216,36 @@ def check_kernel_equivalence(
         g_rows = [(sr.master, sr.stream.name, sr.R)
                   for sr in generic.per_stream]
         f_rows = [(sr.master, sr.stream.name, sr.R) for sr in fast.per_stream]
-        if g_rows != f_rows:
-            diff = next(
-                (a, b) for a, b in zip(g_rows, f_rows) if a != b
-            ) if len(g_rows) == len(f_rows) else (g_rows, f_rows)
+        diff = _rows_diff(g_rows, f_rows)
+        if diff is not None:
             return OracleOutcome(
                 STATUS_FAIL, f"policy={policy}: per-stream R diverge: {diff}"
+            )
+        # Third leg: the SoA vector kernels.  An engine crash is its own
+        # failure (prefixed ``vectorized:``), not an abort of the oracle.
+        try:
+            vec = vector.response_rows(network, policy)
+        except Exception as exc:  # noqa: BLE001 - any engine defect counts
+            return OracleOutcome(
+                STATUS_FAIL,
+                f"vectorized: policy={policy} "
+                f"[{vector.backend_name()} backend] "
+                f"{type(exc).__name__}: {exc}",
+            )
+        if vec["tcycle"] != generic.tcycle:
+            return OracleOutcome(
+                STATUS_FAIL,
+                f"vectorized: policy={policy}: tcycle "
+                f"generic={generic.tcycle} vectorized={vec['tcycle']}",
+            )
+        v_rows = [tuple(row) for row in vec["rows"]]
+        diff = _rows_diff(g_rows, v_rows)
+        if diff is not None:
+            return OracleOutcome(
+                STATUS_FAIL,
+                f"vectorized: policy={policy} "
+                f"[{vector.backend_name()} backend] "
+                f"per-stream R diverge: {diff}",
             )
     previous = set_fast_path(True)
     try:
@@ -220,10 +258,25 @@ def check_kernel_equivalence(
         diff = next(
             (a, b) for a, b in zip(generic_batch, fast_batch) if a != b
         )
-    else:
-        diff = None
-    if diff is not None:
         return OracleOutcome(STATUS_FAIL, f"batch summaries diverge: {diff}")
+    try:
+        vec_batch = analyse_many([network], policies, workers=1,
+                                 mode="vectorized")
+    except Exception as exc:  # noqa: BLE001 - any engine defect counts
+        return OracleOutcome(
+            STATUS_FAIL,
+            f"vectorized: batch driver [{vector.backend_name()} backend] "
+            f"{type(exc).__name__}: {exc}",
+        )
+    if vec_batch != generic_batch:
+        diff = next(
+            (a, b) for a, b in zip(generic_batch, vec_batch) if a != b
+        )
+        return OracleOutcome(
+            STATUS_FAIL,
+            f"vectorized: batch summaries diverge "
+            f"[{vector.backend_name()} backend]: {diff}",
+        )
     return OK
 
 

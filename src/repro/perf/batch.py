@@ -8,11 +8,12 @@ layer one engine:
 * :func:`pooled_map` / :func:`pooled_imap` — chunked process-pool map
   over any picklable function (a chunk amortises pickling and lets the
   per-master / per-set memo caches warm up inside each worker); workers
-  inherit the caller's fast-path setting and report their fixed-point
-  iteration counts back into the parent's tallies, fast and generic
-  separately;
+  inherit the caller's analysis mode and report their fixed-point
+  iteration counts back into the parent's tallies, fast / generic /
+  vectorized separately;
 * :func:`analyse_many` — the (network × policy) analysis grid on top of
-  it;
+  it, with per-call ``mode`` selection (``vectorized`` cuts the grid
+  into SoA slabs for :mod:`repro.perf.vector`);
 * :func:`generate_networks` — reproducible workload generation threading
   one :class:`random.Random` end-to-end (no global ``random`` state);
 * :func:`acceptance_curve` — the E5 experiment (fraction of random
@@ -46,13 +47,18 @@ from ..profibus.timing import tcycle as compute_tcycle
 from ..profibus.timing import tdel
 from ..profibus.ttr import analyse
 from . import kernels
-from .config import fast_path_enabled, set_fast_path
+from .config import (
+    analysis_mode,
+    analysis_mode_set,
+    fast_path_enabled,
+    set_analysis_mode,
+)
 from .stats import counters
 
 DEFAULT_POLICIES: Tuple[str, ...] = ("fcfs", "dm", "edf")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchResult:
     """One (network, policy) analysis outcome, flattened for transport."""
 
@@ -144,18 +150,19 @@ def _analyse_one(index: int, network: Network, policy: str) -> BatchResult:
 
 
 def _pooled_chunk(
-    payload: Tuple[Callable[[Any], Any], List[Any], bool]
-) -> Tuple[List[Any], int, int]:
-    """Worker entry: run one chunk, return results + both iteration
-    tallies.  Fast and generic counts travel back *separately* — a
-    fast-mode worker can still take generic fallbacks (non-int streams),
-    and folding one combined number into the parent's fast bucket used
-    to credit those generic iterations to the fast path."""
-    fn, items, fast = payload
-    set_fast_path(fast)
+    payload: Tuple[Callable[[Any], Any], List[Any], str]
+) -> Tuple[List[Any], int, int, int]:
+    """Worker entry: run one chunk, return results + all three iteration
+    tallies.  The counts travel back *separately* — a fast-mode worker
+    can still take generic fallbacks (non-int streams), a vectorized
+    worker still runs fast kernels for unpackable networks, and folding
+    one combined number into a single parent bucket used to credit those
+    iterations to the wrong path."""
+    fn, items, mode = payload
+    set_analysis_mode(mode)
     counters.reset()
     results = [fn(item) for item in items]
-    return results, counters.fast, counters.generic
+    return results, counters.fast, counters.generic, counters.vectorized
 
 
 def pooled_imap(
@@ -174,10 +181,11 @@ def pooled_imap(
     long campaigns incrementally.  ``fn`` must be picklable: a
     module-level function or a :func:`functools.partial` of one.
 
-    Workers inherit the caller's fast-path setting, and their fixed-point
+    Workers inherit the caller's analysis mode, and their fixed-point
     iteration counts are folded into this process's
     :data:`repro.perf.stats.counters` — fast into fast, generic into
-    generic — so accounting is identical to a serial run.
+    generic, vectorized into vectorized — so accounting is identical to
+    a serial run.
     """
     if workers is None:
         workers = os.cpu_count() or 1
@@ -190,15 +198,16 @@ def pooled_imap(
         # ~4 chunks per worker balances scheduling slack vs. pickling.
         chunksize = max(1, len(items) // (workers * 4))
     chunks = [
-        (fn, items[i:i + chunksize], fast_path_enabled())
+        (fn, items[i:i + chunksize], analysis_mode())
         for i in range(0, len(items), chunksize)
     ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for results, fast_iters, generic_iters in pool.map(
+        for results, fast_iters, generic_iters, vector_iters in pool.map(
             _pooled_chunk, chunks
         ):
             counters.fast += fast_iters
             counters.generic += generic_iters
+            counters.vectorized += vector_iters
             yield from results
 
 
@@ -218,31 +227,108 @@ def _analyse_pair(job: Tuple[int, Network],
     return [_analyse_one(index, network, policy) for policy in policies]
 
 
+def _vector_slab(job: Tuple[int, List[Network]],
+                 policies: Sequence[str]) -> List[BatchResult]:
+    """One SoA pack per slab of networks: every policy's lanes advance
+    over the whole slab at once; unpackable networks take the scalar
+    per-network path (fast kernels — ``vectorized`` implies them)."""
+    from . import vector
+
+    start, networks = job
+    rows: List[BatchResult] = []
+    pack = vector.pack_networks(networks)
+    # One summary list per policy over the whole slab, then emit in
+    # (index, policy) order: packed networks and fallback indices are
+    # both ascending, so slab outputs concatenate globally sorted and
+    # the driver never needs a comparison sort.
+    summaries = [vector.batch_summaries(pack, policy) for policy in policies]
+    fb = pack.fallback
+    fi = 0
+    n_fb = len(fb)
+    for p, per_policy in enumerate(zip(*summaries)):
+        net_idx = per_policy[0][0]
+        while fi < n_fb and fb[fi] < net_idx:
+            for policy in policies:
+                rows.append(_analyse_one(start + fb[fi], networks[fb[fi]],
+                                         policy))
+            fi += 1
+        for policy, (idx, tc, sched, wr, ws) in zip(policies, per_policy):
+            rows.append(BatchResult(start + idx, policy, sched, wr, ws, tc))
+    while fi < n_fb:
+        for policy in policies:
+            rows.append(_analyse_one(start + fb[fi], networks[fb[fi]], policy))
+        fi += 1
+    return rows
+
+
+def _analyse_many_vectorized(
+    networks: List[Network],
+    policies: Sequence[str],
+    workers: Optional[int],
+    chunksize: Optional[int],
+) -> List[BatchResult]:
+    """:func:`analyse_many` through the SoA batch kernels: the grid is
+    cut into slabs (one per pool chunk, or a single slab when serial)
+    and each slab's networks advance together."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers <= 1 or len(networks) < 2 * workers:
+        slabs = [(0, networks)]
+        workers = 1
+    else:
+        if chunksize is None:
+            chunksize = max(1, len(networks) // (workers * 4))
+        slabs = [
+            (i, networks[i:i + chunksize])
+            for i in range(0, len(networks), chunksize)
+        ]
+    fn = partial(_vector_slab, policies=tuple(policies))
+    rows: List[BatchResult] = []
+    # Slabs are contiguous ascending index ranges and each slab emits
+    # (index, policy)-ordered rows, so concatenation is already sorted.
+    for slab_rows in pooled_imap(fn, slabs, workers=workers, chunksize=1):
+        rows.extend(slab_rows)
+    return rows
+
+
 def analyse_many(
     networks: Sequence[Network],
     policies: Sequence[str] = DEFAULT_POLICIES,
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    mode: Optional[str] = None,
 ) -> List[BatchResult]:
     """Analyse every (network, policy) pair.
 
     ``workers=None`` uses ``os.cpu_count()``; ``workers<=1`` (or a grid
-    too small to amortise a pool) runs serial in-process.  Results come
-    back ordered by (network index, policy position) regardless of the
-    execution mode.  Every network must carry a TTR at or above its ring
-    latency — pre-filter rows that do not (as the sweep drivers do).
+    too small to amortise a pool) runs serial in-process.  ``mode``
+    overrides the process-wide analysis mode for this call
+    (``generic``/``fast``/``vectorized``); under ``vectorized`` the grid
+    runs through the SoA batch kernels of :mod:`repro.perf.vector` —
+    same results bit for bit, whole slabs per instruction stream.
+    Results come back ordered by (network index, policy position)
+    regardless of the execution mode.  Every network must carry a TTR at
+    or above its ring latency — pre-filter rows that do not (as the
+    sweep drivers do).
     """
-    if workers is None:
-        workers = os.cpu_count() or 1
-    jobs = list(enumerate(networks))
-    if len(jobs) < 2 * workers:
-        workers = 1  # too small to amortise a pool
-    rows: List[BatchResult] = []
-    fn = partial(_analyse_pair, policies=tuple(policies))
-    for pair_rows in pooled_imap(fn, jobs, workers=workers,
-                                 chunksize=chunksize):
-        rows.extend(pair_rows)
-    return rows
+    if mode is None:
+        mode = analysis_mode()
+    with analysis_mode_set(mode):
+        networks = list(networks)
+        if mode == "vectorized":
+            return _analyse_many_vectorized(networks, policies, workers,
+                                            chunksize)
+        if workers is None:
+            workers = os.cpu_count() or 1
+        jobs = list(enumerate(networks))
+        if len(jobs) < 2 * workers:
+            workers = 1  # too small to amortise a pool
+        rows: List[BatchResult] = []
+        fn = partial(_analyse_pair, policies=tuple(policies))
+        for pair_rows in pooled_imap(fn, jobs, workers=workers,
+                                     chunksize=chunksize):
+            rows.extend(pair_rows)
+        return rows
 
 
 def generate_networks(
@@ -299,13 +385,16 @@ def acceptance_curve(
     streams_per_master: int = 3,
     period_ms: Tuple[float, float] = (50.0, 1000.0),
     payload_range: Tuple[int, int] = (2, 16),
+    mode: Optional[str] = None,
 ) -> Dict[float, Dict[str, int]]:
     """The E5 curve: schedulable counts per policy per tightness level.
 
     Deadlines are drawn in ``[0.6·x·T, x·T]`` at tightness ``x``; the
     per-point seed mixes ``seed`` so points are independent but
     reproducible.  All (level × network × policy) rows go through one
-    :func:`analyse_many` call, so the pool is filled once.
+    :func:`analyse_many` call, so the pool is filled once; ``mode``
+    selects its analysis mode (the acceptance workload is the benchmark
+    the vectorized kernels are measured on).
     """
     nets: List[Network] = []
     spans: List[Tuple[float, int]] = []
@@ -322,7 +411,7 @@ def acceptance_curve(
         spans.append((x, len(nets)))
         nets.extend(batch)
 
-    rows = analyse_many(nets, policies, workers=workers)
+    rows = analyse_many(nets, policies, workers=workers, mode=mode)
     by_index: Dict[int, Dict[str, bool]] = {}
     for row in rows:
         by_index.setdefault(row.index, {})[row.policy] = row.schedulable

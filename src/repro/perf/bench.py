@@ -1,13 +1,19 @@
 """Throughput benchmark driver — the ``repro-cli bench`` backend.
 
-Measures the same workload three ways on one machine:
+Measures the same workload once per analysis mode on one machine:
 
 * ``generic_serial`` — the exact generic path (fast kernels disabled),
   the baseline every speedup is quoted against;
 * ``fast_serial`` — integer kernels + interference caching, one process;
-* ``fast_parallel`` — the same through :func:`repro.perf.batch
-  .analyse_many` with a process pool (skipped when only one worker is
-  requested — it would measure pool overhead, not parallelism).
+* ``vectorized_serial`` — the structure-of-arrays batch kernels
+  (:mod:`repro.perf.vector`): the whole workload packed once and every
+  fixed-point recurrence advanced across all networks per instruction
+  stream.  The ``vector_backend`` field records whether numpy carried
+  the arrays or the pure-python fallback did;
+* ``fast_parallel`` / ``vectorized_parallel`` — the same through
+  :func:`repro.perf.batch.analyse_many` with a process pool (skipped
+  when only one worker is requested — that would measure pool overhead,
+  not parallelism).
 
 Workloads are regenerated (same seed → value-equal, fresh instances)
 for every timed run, so the instance-keyed analysis memos never carry
@@ -25,11 +31,12 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from . import vector
 from .batch import DEFAULT_POLICIES, BatchResult, analyse_many, generate_networks
-from .config import fast_path_disabled
+from .config import ANALYSIS_MODES
 from .stats import counters
 
-SCHEMA = "profibus-rt/bench-batch/v1"
+SCHEMA = "profibus-rt/bench-batch/v2"
 
 #: Deadline-tightness levels cycled across the generated networks so the
 #: workload spans the easy/marginal/infeasible regimes like the E5 curve.
@@ -74,19 +81,15 @@ class _ModeRun:
 
 
 def _run_once(n_networks: int, seed: int, policies: Sequence[str],
-              workers: int, fast: bool, into: _ModeRun) -> None:
+              workers: int, mode: str, into: _ModeRun) -> None:
     nets = _workload(n_networks, seed)  # fresh instances, cold memos
     counters.reset()
-    if fast:
-        w0, c0 = time.perf_counter(), time.process_time()
-        rows = analyse_many(nets, policies, workers=workers)
-        wall, cpu = time.perf_counter() - w0, time.process_time() - c0
-    else:
-        with fast_path_disabled():
-            w0, c0 = time.perf_counter(), time.process_time()
-            rows = analyse_many(nets, policies, workers=workers)
-            wall, cpu = time.perf_counter() - w0, time.process_time() - c0
-    into.observe(wall, cpu, counters.fast + counters.generic, rows)
+    w0, c0 = time.perf_counter(), time.process_time()
+    rows = analyse_many(nets, policies, workers=workers, mode=mode)
+    wall, cpu = time.perf_counter() - w0, time.process_time() - c0
+    into.observe(wall, cpu,
+                 counters.fast + counters.generic + counters.vectorized,
+                 rows)
 
 
 def run_benchmark(
@@ -96,38 +99,54 @@ def run_benchmark(
     rounds: int = 3,
     policies: Sequence[str] = DEFAULT_POLICIES,
     check: bool = True,
+    modes: Optional[Tuple[str, ...]] = None,
 ) -> dict:
     """Run the modes and assemble the ``BENCH_batch.json`` payload.
 
+    ``modes`` restricts the benchmark to a subset of
+    :data:`repro.perf.config.ANALYSIS_MODES` (default: all three).
     Rounds are interleaved across modes so transient machine load hits
     every mode equally; the per-mode best is reported.  ``cpu_seconds``
     (process CPU time) drives the speedup ratios — on a multi-tenant
     machine wall clock charges one mode for another tenant's burst.
-    For the parallel mode CPU time is meaningless in the parent (the
-    work happens in children), so its ratios use wall time.
+    For the parallel modes CPU time is meaningless in the parent (the
+    work happens in children), so their ratios use wall time.
     """
     if n_networks < 1:
         raise ValueError("bench needs at least one network")
+    selected = tuple(modes) if modes else ANALYSIS_MODES
+    bad = [m for m in selected if m not in ANALYSIS_MODES]
+    if bad:
+        raise ValueError(
+            f"unknown bench mode(s) {bad}; pick from {list(ANALYSIS_MODES)}"
+        )
     if workers is None:
         workers = os.cpu_count() or 1
     n_analyses = n_networks * len(policies)
 
-    generic = _ModeRun()
-    fast = _ModeRun()
-    parallel = _ModeRun() if workers > 1 else None
+    serial: Dict[str, _ModeRun] = {m: _ModeRun() for m in selected}
+    # Pool rows only for the modes with a batch driver worth scaling out
+    # (generic-parallel would just burn `rounds` pool runs to restate
+    # the serial ratio).
+    pooled: Dict[str, Optional[_ModeRun]] = {
+        m: (_ModeRun() if workers > 1 else None)
+        for m in selected if m in ("fast", "vectorized")
+    }
     for _ in range(max(1, rounds)):
-        _run_once(n_networks, seed, policies, 1, False, generic)
-        _run_once(n_networks, seed, policies, 1, True, fast)
-        if parallel is not None:
-            _run_once(n_networks, seed, policies, workers, True, parallel)
+        for m in selected:
+            _run_once(n_networks, seed, policies, 1, m, serial[m])
+        for m, run in pooled.items():
+            if run is not None:
+                _run_once(n_networks, seed, policies, workers, m, run)
 
     consistent: Optional[bool] = None  # None = equality check skipped
     if check:
-        consistent = generic.rows == fast.rows
-        if parallel is not None:
-            consistent = consistent and parallel.rows == fast.rows
+        row_sets = [run.rows for run in serial.values()]
+        row_sets += [run.rows for run in pooled.values() if run is not None]
+        if len(row_sets) > 1:
+            consistent = all(rows == row_sets[0] for rows in row_sets[1:])
 
-    def _mode(run: _ModeRun, base: Optional[_ModeRun], wall_ratio: bool):
+    def _mode(run: _ModeRun, wall_ratio: bool):
         out = {
             "seconds": run.wall,
             "cpu_seconds": run.cpu,
@@ -135,26 +154,31 @@ def run_benchmark(
             "analyses_per_cpu_sec": n_analyses / run.cpu,
             "iterations": run.iterations,
         }
-        if base is not None:
-            if wall_ratio:
-                out["speedup_vs_generic"] = base.wall / run.wall
-            else:
-                out["speedup_vs_generic"] = base.cpu / run.cpu
+
+        def ratio(base: _ModeRun) -> float:
+            return base.wall / run.wall if wall_ratio else base.cpu / run.cpu
+
+        if "generic" in serial and run is not serial["generic"]:
+            out["speedup_vs_generic"] = ratio(serial["generic"])
+        if "fast" in serial and run not in (serial["fast"], serial.get("generic")):
+            out["speedup_vs_fast"] = ratio(serial["fast"])
         return out
 
-    modes: Dict[str, dict] = {
-        "generic_serial": _mode(generic, None, False),
-        "fast_serial": _mode(fast, generic, False),
-    }
-    if parallel is not None:
-        modes["fast_parallel"] = dict(
-            _mode(parallel, generic, True), workers=workers
-        )
-    else:
-        # One worker: the parallel driver degenerates to the serial one.
-        modes["fast_parallel"] = dict(modes["fast_serial"], workers=1)
+    mode_rows: Dict[str, dict] = {}
+    for m in ("generic", "fast", "vectorized"):
+        if m in serial:
+            mode_rows[f"{m}_serial"] = _mode(serial[m], False)
+    for m, run in pooled.items():
+        if run is not None:
+            mode_rows[f"{m}_parallel"] = dict(_mode(run, True),
+                                              workers=workers)
+        else:
+            # One worker: the parallel driver degenerates to the serial one.
+            mode_rows[f"{m}_parallel"] = dict(mode_rows[f"{m}_serial"],
+                                              workers=1)
 
-    schedulable = sum(1 for r in fast.rows if r.schedulable)
+    sample = next(iter(serial.values()))
+    schedulable = sum(1 for r in sample.rows if r.schedulable)
     return {
         "schema": SCHEMA,
         "created_unix": time.time(),
@@ -162,6 +186,8 @@ def run_benchmark(
             "cpu_count": os.cpu_count(),
             "python": sys.version.split()[0],
             "platform": sys.platform,
+            "numpy": vector.numpy_version(),  # None = unavailable
+            "vector_backend": vector.backend_name(),
         },
         "workload": {
             "networks": n_networks,
@@ -172,7 +198,7 @@ def run_benchmark(
             "tightness_cycle": list(TIGHTNESS_CYCLE),
             "schedulable_rows": schedulable,
         },
-        "modes": modes,
+        "modes": mode_rows,
         "consistent": consistent,
     }
 
@@ -187,24 +213,31 @@ def write_benchmark(report: dict, path: str) -> str:
 def format_report(report: dict) -> List[str]:
     """Human-readable summary lines for the CLI."""
     wl = report["workload"]
+    machine = report.get("machine", {})
+    backend = machine.get("vector_backend")
+    numpy_note = (f"numpy {machine['numpy']}" if machine.get("numpy")
+                  else "no numpy")
     lines = [
         f"bench: {wl['networks']} networks × {len(wl['policies'])} policies "
         f"= {wl['analyses']} analyses (best of {wl['rounds']} rounds, "
-        f"seed {wl['seed']})",
+        f"seed {wl['seed']}; vector backend: {backend}, {numpy_note})",
     ]
     for name, mode in report["modes"].items():
         speed = mode["analyses_per_sec"]
         extra = ""
         if "speedup_vs_generic" in mode:
-            extra = f"  ({mode['speedup_vs_generic']:.2f}x vs generic)"
+            extra = f"  ({mode['speedup_vs_generic']:.2f}x vs generic"
+            if "speedup_vs_fast" in mode:
+                extra += f", {mode['speedup_vs_fast']:.2f}x vs fast"
+            extra += ")"
         if "workers" in mode:
             extra += f"  [workers={mode['workers']}]"
         lines.append(
-            f"  {name:<15} {speed:>10.0f} analyses/s  "
+            f"  {name:<19} {speed:>10.0f} analyses/s  "
             f"{mode['iterations']:>9} iterations{extra}"
         )
     consistent = report["consistent"]
     verdict = ("not checked" if consistent is None
                else "ok" if consistent else "MISMATCH")
-    lines.append(f"fast/generic result agreement: {verdict}")
+    lines.append(f"cross-mode result agreement: {verdict}")
     return lines

@@ -1,11 +1,14 @@
 """Fixed-point iteration accounting.
 
-Both drivers — the generic :func:`repro.core.timeops.fixed_point` and the
-integer kernels — add their iteration counts here at *call* granularity
-(one integer add per solved recursion, nothing per step), so the bench
-can report how many iterations each path actually executed for the same
-workload.  The split shows where the seed jump pays off: the fast path
-solves the same fixed points in fewer steps.
+All three drivers — the generic :func:`repro.core.timeops.fixed_point`,
+the integer kernels, and the vector engine — add their iteration counts
+here at *call* granularity (one integer add per solved recursion or per
+lane sweep batch, nothing per step), so the bench can report how many
+iterations each path actually executed for the same workload.  The
+split shows where each acceleration pays off: the fast path solves the
+same fixed points in fewer steps (seed jump), the vectorized path
+spends the same lane-iterations but amortises them across a whole batch
+per sweep.
 """
 
 from __future__ import annotations
@@ -14,20 +17,23 @@ from __future__ import annotations
 class IterationCounters:
     """Process-wide iteration tallies, separated by driver."""
 
-    __slots__ = ("generic", "fast")
+    __slots__ = ("generic", "fast", "vectorized")
 
     def __init__(self) -> None:
         self.generic = 0
         self.fast = 0
+        self.vectorized = 0
 
     def reset(self) -> "IterationCounters":
         self.generic = 0
         self.fast = 0
+        self.vectorized = 0
         return self
 
     def snapshot(self) -> dict:
         return {"generic": self.generic, "fast": self.fast,
-                "total": self.generic + self.fast}
+                "vectorized": self.vectorized,
+                "total": self.generic + self.fast + self.vectorized}
 
 
 #: The process-wide tally (workers report theirs back through the batch

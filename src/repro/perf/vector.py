@@ -1,0 +1,1249 @@
+"""Structure-of-arrays batch kernels: whole batches of fixed points per sweep.
+
+The scalar kernels of :mod:`repro.perf.kernels` solve one fixed-point
+recursion at a time — a Python-level loop per stream per instance per
+offset.  The recurrences are embarrassingly regular (same map shape, all
+ints), so this module advances *thousands of them simultaneously*: one
+"lane" per pending recursion, one instruction stream per sweep over the
+whole batch.
+
+SoA layout
+==========
+
+:func:`pack_networks` flattens a sequence of networks into contiguous
+integer arrays with CSR-style offset tables (the **structure-of-arrays**
+representation)::
+
+    indices[p]                original position of packed network p
+    tc[p]                     token-cycle time of packed network p
+    net_master_start[p..p+1]  master-id range of packed network p
+    net_stream_start[p..p+1]  stream-id range of packed network p
+    master_net[m]             packed network owning master m
+    master_tc[m]              its tc (denormalised: kernels never hop)
+    master_stream_start[m..m+1]  stream range of master m
+    stream_T / stream_D / stream_J   per high-priority stream, in
+                              declaration order within each master
+
+Every value passes through :func:`_pack_value` on the way in (the
+identity — it exists as the seam the ``vec-int32-truncation`` corpus
+mutant narrows).  Networks the arrays cannot represent exactly — a
+non-int ``Tcycle``, non-int stream attributes, or magnitudes beyond
+``_PACK_LIMIT`` where an int64 backend could overflow — are listed in
+``fallback`` and take the scalar path unchanged.
+
+Lane engine
+===========
+
+All three policies reduce to one engine: iterate
+``x ← base + Σ_j k(x)·C_j`` per lane, where ``k`` is the ceiling map
+(busy periods), the strict ``⌊·⌋+1`` map (DM instances), or the capped
+strict map (EDF offsets), with the exact exit order of the scalar
+kernels (``total == x`` first, then ``total > limit``).  Lanes start
+from the **generic seed** (one application of the map to 0; the busy
+seed is ``blocking + ΣC``) and climb monotonically from below, so a
+lane converges iff its least fixed point is within the limit — the same
+verdict and the same converged value as both the generic path and the
+seed-jumped fast kernels, bit for bit.  Only iteration counts differ
+(reported in :data:`repro.perf.stats.counters`, never part of a
+verdict).
+
+**Convergence masking**: after every sweep, lanes whose exit condition
+fired are retired and the arrays compacted, so ragged batches do not
+pay for their slowest lane.  Retirement changes no surviving lane's
+trajectory — each lane's sweep sequence is exactly the scalar
+iteration it replaces (property-tested against per-lane reference
+loops in ``tests/test_perf_vector.py``).
+
+Backends
+========
+
+The numpy backend engages when numpy is importable and
+``REPRO_DISABLE_NUMPY`` is unset.  Under it the *whole* pipeline is
+array-shaped, not just the iteration: priority ranks come from one
+``lexsort`` over the flat arrays, blocking terms / seed sums / candidate
+EDF offsets are built by ``repeat``/``arange`` segment expansion, the
+float utilisation guards are evaluated as interval checks (masters whose
+guard lands within the float-reordering margin re-run through the scalar
+kernels, so the bit-exact declaration-order summation still decides
+them), and the per-network verdict fold is ``reduceat`` over the
+network CSR.  Otherwise a pure-python backend runs the same lanes over
+the same flat arrays with identical semantics (plain ints, so no
+overflow concerns).  The numpy engine guards against int64 overflow
+with exact python-int bound prechecks plus a per-sweep bound, and falls
+back to the scalar kernels for the whole policy pass if anything could
+wrap (``_VectorRangeError`` — freak magnitudes only; correctness never
+depends on the backend).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.timeops import DivergedError
+from . import kernels
+from .stats import counters as _counters
+
+MAX_ITER = kernels.MAX_ITER
+
+#: Magnitude bound for packing: int64 lanes stay provably wrap-free for
+#: values below this (the overflow prechecks cover derived quantities).
+_PACK_LIMIT = 1 << 44
+
+#: int64-safety ceiling for the overflow prechecks (exact python
+#: arithmetic on array maxima).
+_SAFE_TOTAL = 1 << 62
+
+#: Materialisation cap on any one lane/entry expansion — beyond this the
+#: pass falls back to the scalar kernels rather than allocate without
+#: bound (the scalar path enumerates the same work lazily).
+_MAX_LANES = 4_000_000
+
+
+def _pack_value(v: int) -> int:
+    """Identity hook every value crosses when entering the SoA arrays.
+
+    This is the dtype-narrowing seam: the ``vec-int32-truncation``
+    corpus mutant replaces it with an int32 wraparound, and the corpus
+    entry with >2³¹ magnitudes must kill that.
+    """
+    return v
+
+
+#: The pristine seam — ``pack_networks`` skips the per-value call when
+#: the module attribute still is this exact function (a mutant that
+#: rebinds ``_pack_value`` fails the identity check and flows through).
+_PACK_IDENTITY = _pack_value
+
+
+# ------------------------------------------------------------------ backend
+
+_numpy: Any = None
+_numpy_checked = False
+_backend_override: Optional[str] = None
+
+
+def _load_numpy():
+    global _numpy, _numpy_checked
+    if not _numpy_checked:
+        _numpy_checked = True
+        if not os.environ.get("REPRO_DISABLE_NUMPY"):
+            try:
+                import numpy  # noqa: F401
+
+                _numpy = numpy
+            except ImportError:
+                _numpy = None
+    return _numpy
+
+
+def numpy_available() -> bool:
+    """Is the numpy backend active (importable and not disabled)?"""
+    return backend_name() == "numpy"
+
+
+def numpy_version() -> Optional[str]:
+    """The numpy version string the vector engine would use, else None."""
+    np = _load_numpy()
+    return None if np is None else np.__version__
+
+
+def backend_name() -> str:
+    """``"numpy"`` or ``"python"`` — the engine that would run now."""
+    if _backend_override is not None:
+        return _backend_override
+    return "python" if _load_numpy() is None else "numpy"
+
+
+@contextmanager
+def backend_forced(name: str):
+    """Force a backend for a block (tests compare both on one machine)."""
+    if name not in ("numpy", "python"):
+        raise ValueError(f"unknown vector backend {name!r}")
+    if name == "numpy" and _load_numpy() is None:
+        raise RuntimeError("numpy backend unavailable")
+    global _backend_override
+    previous = _backend_override
+    _backend_override = name
+    try:
+        yield
+    finally:
+        _backend_override = previous
+
+
+class _VectorRangeError(Exception):
+    """Internal: an int64 pass could overflow or over-allocate; redo it
+    through the scalar kernels."""
+
+
+# ------------------------------------------------------------------ packing
+
+
+class NetworkPack:
+    """The SoA representation of a batch of networks (see module doc)."""
+
+    __slots__ = (
+        "networks", "indices", "fallback", "tc",
+        "net_master_start", "net_stream_start", "master_net", "master_tc",
+        "master_stream_start", "stream_T", "stream_D", "stream_J",
+        "_specs", "_npc", "_flat", "_pm",
+    )
+
+    def __init__(self) -> None:
+        self.networks: Tuple[Any, ...] = ()
+        self.indices: List[int] = []
+        self.fallback: Tuple[int, ...] = ()
+        self.tc: List[int] = []
+        self.net_master_start: List[int] = [0]
+        self.net_stream_start: List[int] = [0]
+        self.master_net: List[int] = []
+        self.master_tc: List[int] = []
+        self.master_stream_start: List[int] = [0]
+        self.stream_T: List[int] = []
+        self.stream_D: List[int] = []
+        self.stream_J: List[int] = []
+        self._specs: Dict[int, Tuple] = {}
+        self._npc: Optional[Dict[str, Any]] = None
+        self._flat: Dict[str, Any] = {}
+        self._pm: Dict[str, List[List]] = {}
+
+    @property
+    def n_packed(self) -> int:
+        return len(self.indices)
+
+    @property
+    def n_masters(self) -> int:
+        return len(self.master_net)
+
+    def masters_of(self, p: int) -> range:
+        return range(self.net_master_start[p], self.net_master_start[p + 1])
+
+    def master_specs(self, m: int) -> Tuple[Tuple[int, int, int], ...]:
+        """``(T, D, J)`` per stream of master ``m`` — the scalar-kernel
+        input shape, read back out of the flat arrays (memoized)."""
+        specs = self._specs.get(m)
+        if specs is None:
+            lo = self.master_stream_start[m]
+            hi = self.master_stream_start[m + 1]
+            specs = self._specs[m] = tuple(
+                (self.stream_T[s], self.stream_D[s], self.stream_J[s])
+                for s in range(lo, hi)
+            )
+        return specs
+
+    def network_view(self, p: int) -> Tuple[int, Tuple[Tuple, ...]]:
+        """``(tc, per-master spec tuples)`` for packed network ``p`` —
+        must round-trip the object model exactly (property-tested)."""
+        return (
+            self.tc[p],
+            tuple(self.master_specs(m) for m in self.masters_of(p)),
+        )
+
+    def np_arrays(self) -> Dict[str, Any]:
+        """The int64 array mirror of the packed lists, built lazily once
+        (numpy backend only)."""
+        if self._npc is None:
+            np = _load_numpy()
+            i64 = np.int64
+            mss = np.asarray(self.master_stream_start, dtype=i64)
+            m_count = mss[1:] - mss[:-1]
+            self._npc = {
+                "aT": np.asarray(self.stream_T, dtype=i64),
+                "aD": np.asarray(self.stream_D, dtype=i64),
+                "aJ": np.asarray(self.stream_J, dtype=i64),
+                "m_start": mss[:-1],
+                "m_count": m_count,
+                "m_tc": np.asarray(self.master_tc, dtype=i64),
+                "str_master": np.repeat(
+                    np.arange(self.n_masters, dtype=i64), m_count),
+                "nss": np.asarray(self.net_stream_start, dtype=i64),
+            }
+        return self._npc
+
+
+def pack_networks(networks: Sequence, ttr: Optional[int] = None) -> NetworkPack:
+    """Flatten ``networks`` into the SoA representation.
+
+    ``ttr`` overrides every network's own TTR when given (the golden
+    probe re-analysis).  Networks whose timing or streams are not plain
+    ints — or whose magnitudes exceed ``_PACK_LIMIT`` — land in
+    ``pack.fallback`` for the scalar path.
+
+    Extraction is one fused pass per master
+    (:func:`repro.profibus.network.master_pack_columns`): the flat spec
+    columns and the eq. (13) ``C_M^k`` term come out of a single walk
+    of the stream list, and ``Tcycle = TTR + Tdel`` (eq. (14)) is
+    assembled right here instead of through the layered scalar helpers
+    — bit-identical by the round-trip property tests and the golden
+    corpus, at a fraction of the per-network constant cost that
+    dominates packing.
+    """
+    from ..profibus.frames import TOKEN_FRAME
+    from ..profibus.network import master_pack_columns
+
+    pack = NetworkPack()
+    pack.networks = tuple(networks)
+    fallback: List[int] = []
+    pv = _pack_value
+    identity = pv is _PACK_IDENTITY
+    lim = _PACK_LIMIT
+    sT, sD, sJ = pack.stream_T, pack.stream_D, pack.stream_J
+    m_net, m_tc, m_start = (pack.master_net, pack.master_tc,
+                            pack.master_stream_start)
+    token_bits = TOKEN_FRAME.bits
+    last_phy = None
+    tpt = 0
+    for idx, net in enumerate(pack.networks):
+        phy = net.phy
+        if phy is not last_phy:
+            tpt = token_bits + phy.tid2  # token_pass_time(phy)
+            last_phy = phy
+        # Single pass with rollback: columns go straight into the flat
+        # arrays; an unpackable master truncates back to the marks.
+        mark_s = len(sT)
+        mark_m = len(m_net)
+        p = len(pack.indices)
+        tdel = 0
+        ok = True
+        for master in net.masters:
+            cols = master_pack_columns(master, phy)
+            if cols is None or cols[3] > lim:
+                ok = False
+                break
+            ts, ds, js, _mx, cm = cols
+            tdel += cm
+            m_net.append(p)
+            if ts:
+                if identity:
+                    sT.extend(ts)
+                    sD.extend(ds)
+                    sJ.extend(js)
+                else:
+                    sT.extend(map(pv, ts))
+                    sD.extend(map(pv, ds))
+                    sJ.extend(map(pv, js))
+            m_start.append(len(sT))
+        if ok:
+            t = ttr if ttr is not None else net.require_ttr()
+            if t < net.n_masters * tpt:
+                raise ValueError(
+                    f"TTR={t} is below the no-load ring latency "
+                    f"{net.ring_latency()}; the Tcycle bound does not apply"
+                )
+            tc = t + tdel  # eq. (14): Tcycle = TTR + Tdel
+            ok = type(tc) is int and tc <= lim
+        if not ok:
+            del sT[mark_s:], sD[mark_s:], sJ[mark_s:]
+            del m_net[mark_m:], m_start[mark_m + 1:]
+            fallback.append(idx)
+            continue
+        pack.indices.append(idx)
+        tc_packed = tc if identity else pv(tc)
+        pack.tc.append(tc_packed)
+        m_tc.extend([tc_packed] * (len(m_net) - mark_m))
+        pack.net_master_start.append(len(m_net))
+        pack.net_stream_start.append(len(sT))
+    pack.fallback = tuple(fallback)
+    return pack
+
+
+# --------------------------------------------------------------- lane engine
+#
+# One call solves a batch of independent recursions
+#   x ← base + Σ_j k(x)·C_j        (entries grouped per lane, in order)
+# with k per `kind`:
+#   "ceil":   ⌈(x+J)/T⌉                       (busy periods, no limit)
+#   "strict": ⌊(x+J)/T⌋ + 1                   (DM instances)
+#   "capped": min(⌊(x+J)/T⌋ + 1, cap)         (EDF offsets)
+# Exit order per lane, identical to the scalar kernels:
+#   total == x            → retire, converged, value = total
+#   total >  limit        → retire, not converged, value = total
+# Returns (values, converged, iterations); iterations counts one unit
+# per lane per sweep it was still active — the scalar `it` per lane.
+
+
+def _run_lanes(kind: str,
+               base: List[int], x0: List[int], limit: Optional[List[int]],
+               counts: List[int],
+               eC: List[int], eT: List[int], eJ: List[int],
+               eCap: Optional[List[int]]):
+    """List-interface engine dispatch (python backend + tests)."""
+    if not base:
+        return [], [], 0
+    if backend_name() == "numpy":
+        np = _load_numpy()
+        i64 = np.int64
+        vals, conv, iters = _lanes_np(
+            kind,
+            np.asarray(base, dtype=i64), np.asarray(x0, dtype=i64),
+            None if limit is None else np.asarray(limit, dtype=i64),
+            np.asarray(counts, dtype=i64),
+            np.asarray(eC, dtype=i64), np.asarray(eT, dtype=i64),
+            np.asarray(eJ, dtype=i64),
+            None if eCap is None else np.asarray(eCap, dtype=i64),
+        )
+        out = vals.tolist(), conv.tolist(), iters
+    else:
+        out = _run_lanes_python(kind, base, x0, limit, counts, eC, eT, eJ,
+                                eCap)
+    _counters.vectorized += out[2]
+    return out
+
+
+def _run_lanes_python(kind, base, x0, limit, counts, eC, eT, eJ, eCap):
+    strict = kind != "ceil"
+    capped = kind == "capped"
+    n = len(base)
+    values = [0] * n
+    converged = [False] * n
+    iters = 0
+    pos = 0
+    for lane in range(n):
+        cnt = counts[lane]
+        lo, hi = pos, pos + cnt
+        pos = hi
+        b = base[lane]
+        lim = None if limit is None else limit[lane]
+        x = x0[lane]
+        for it in range(1, MAX_ITER + 1):
+            total = b
+            if capped:
+                for e in range(lo, hi):
+                    k = (x + eJ[e]) // eT[e] + 1
+                    cap = eCap[e]
+                    total += (k if k < cap else cap) * eC[e]
+            elif strict:
+                for e in range(lo, hi):
+                    total += ((x + eJ[e]) // eT[e] + 1) * eC[e]
+            else:
+                for e in range(lo, hi):
+                    total += -((-x - eJ[e]) // eT[e]) * eC[e]
+            if total == x:
+                values[lane] = total
+                converged[lane] = True
+                break
+            if lim is not None and total > lim:
+                values[lane] = total
+                break
+            x = total
+        else:
+            raise DivergedError(
+                f"fixed-point iteration did not settle after {MAX_ITER}"
+                " iterations",
+                x,
+            )
+        iters += it
+    return values, converged, iters
+
+
+def _lanes_np(kind, base_a, x, limit_a, counts_a, eC_a, eT_a, eJ_a, eCap_a):
+    """Array-interface numpy engine: int64 arrays in, int64/bool arrays
+    out.  Does NOT touch the iteration counters — callers add the
+    returned count (the list wrapper and the array pipelines both do)."""
+    np = _load_numpy()
+    strict = kind != "ceil"
+    capped = kind == "capped"
+    n = len(base_a)
+    i64 = np.int64
+    values = np.zeros(n, dtype=i64)
+    converged = np.zeros(n, dtype=bool)
+    ids = np.arange(n)
+    iters = 0
+    # Exact-int bound data for the per-sweep overflow guard.
+    cmax = int(eC_a.max(initial=0))
+    emax = int(counts_a.max(initial=0))
+    base_max = int(base_a.max(initial=0))
+
+    ends = np.cumsum(counts_a)
+    starts = ends - counts_a
+    for _sweep in range(1, MAX_ITER + 1):
+        active = len(ids)
+        if not active:
+            return values, converged, iters
+        iters += active
+        xg = np.repeat(x, counts_a)
+        if strict:
+            k = (xg + eJ_a) // eT_a + 1
+            if capped:
+                k = np.minimum(k, eCap_a)
+        else:
+            k = -((-xg - eJ_a) // eT_a)
+        if len(k):
+            kmax = int(k.max())
+            if base_max + kmax * cmax * emax >= _SAFE_TOTAL:
+                raise _VectorRangeError()
+        contrib = k * eC_a
+        cs = np.empty(len(contrib) + 1, dtype=i64)
+        cs[0] = 0
+        np.cumsum(contrib, out=cs[1:])
+        tot = base_a + cs[ends] - cs[starts]
+        eq = tot == x
+        if limit_a is not None:
+            exited = eq | (tot > limit_a)
+        else:
+            exited = eq
+        if exited.any():
+            gid = ids[exited]
+            values[gid] = tot[exited]
+            converged[gid] = eq[exited]
+            keep = ~exited
+            if not keep.any():
+                return values, converged, iters
+            keep_e = np.repeat(keep, counts_a)
+            ids = ids[keep]
+            base_a = base_a[keep]
+            if limit_a is not None:
+                limit_a = limit_a[keep]
+            x = tot[keep]
+            counts_a = counts_a[keep]
+            ends = np.cumsum(counts_a)
+            starts = ends - counts_a
+            eC_a = eC_a[keep_e]
+            eT_a = eT_a[keep_e]
+            eJ_a = eJ_a[keep_e]
+            if eCap_a is not None:
+                eCap_a = eCap_a[keep_e]
+            base_max = int(base_a.max(initial=0))
+        else:
+            x = tot
+    raise DivergedError(
+        f"fixed-point iteration did not settle after {MAX_ITER} iterations",
+        int(x.max(initial=0)),
+    )
+
+
+def _cs0(np, a):
+    """``[0, a0, a0+a1, …]`` — shared helper for segment starts/sums."""
+    out = np.empty(len(a) + 1, dtype=np.int64)
+    out[0] = 0
+    np.cumsum(a, out=out[1:])
+    return out
+
+
+# --------------------------------------------- python-backend policy stages
+
+
+def _fcfs_values(pack: NetworkPack) -> List[List[int]]:
+    out = []
+    for m in range(pack.n_masters):
+        nh = pack.master_stream_start[m + 1] - pack.master_stream_start[m]
+        out.append([nh * pack.master_tc[m]] * nh)
+    return out
+
+
+def _dm_scalar_values(pack: NetworkPack) -> List[List[Optional[int]]]:
+    return [
+        list(kernels.dm_master_response_times(pack.master_specs(m),
+                                              pack.master_tc[m]))
+        for m in range(pack.n_masters)
+    ]
+
+
+def _dm_values(pack: NetworkPack,
+               max_instances: int = 100_000) -> List[List[Optional[int]]]:
+    """Eq. (16) for every master in the pack — the vector mirror of
+    :func:`repro.perf.kernels.dm_master_response_times` (python-backend
+    staging; the numpy backend stages the same lanes in
+    :func:`_dm_flat_np`).
+
+    Per-master ordering, priorities, blocking terms and the float
+    utilisation guards stay scalar (bit-exact summation order); the
+    busy periods and every ``(stream, instance)`` recursion become
+    lanes.  Instances are evaluated for *all* q and folded — a
+    monotone-map equivalence with the scalar early-break loop (the fold
+    uses a value only when every instance converged feasibly, exactly
+    when the scalar loop completes)."""
+    results: List[List[Optional[int]]] = [
+        [None] * (pack.master_stream_start[m + 1]
+                  - pack.master_stream_start[m])
+        for m in range(pack.n_masters)
+    ]
+    # Stage A: scalar prep; one busy-period lane per guard-passing rank.
+    b_base: List[int] = []
+    b_x0: List[int] = []
+    b_counts: List[int] = []
+    b_eC: List[int] = []
+    b_eT: List[int] = []
+    b_eJ: List[int] = []
+    survivors: List[Tuple] = []  # (m, i, T, D, J, B, step0_tail, arr_prefix)
+    for m in range(pack.n_masters):
+        specs = pack.master_specs(m)
+        n = len(specs)
+        if not n:
+            continue
+        tc = pack.master_tc[m]
+        order = sorted(range(n), key=lambda i: (specs[i][1], i))
+        prio = [0] * n
+        for p_, i in enumerate(order):
+            prio[i] = p_
+        utils = [tc / specs[i][0] for i in range(n)]
+        arr_full = [(tc, specs[i][0], specs[i][2]) for i in order]
+        step0_tail = 0
+        last_rank = n - 1
+        for rank, i in enumerate(order):
+            T, D, J = specs[i]
+            B = tc if rank < last_rank else 0
+            u = 0.0
+            pi = prio[i]
+            for j in range(n):
+                if prio[j] < pi:
+                    u += utils[j]
+            u += utils[i]
+            if not (u > 1.0 + 1e-12 or (B > 0 and u > 1.0 - 1e-12)):
+                arr = arr_full[:rank]
+                b_base.append(B)
+                b_x0.append(B + (rank + 1) * tc)
+                b_counts.append(rank + 1)
+                for C_, T_, J_ in arr:
+                    b_eC.append(C_)
+                    b_eT.append(T_)
+                    b_eJ.append(J_)
+                b_eC.append(tc)
+                b_eT.append(T)
+                b_eJ.append(J)
+                survivors.append((m, i, T, D, J, B, step0_tail, arr))
+            step0_tail += (J // T + 1) * tc
+    L_vals, _conv, _it = _run_lanes("ceil", b_base, b_x0, None, b_counts,
+                                    b_eC, b_eT, b_eJ, None)
+    # Stage B: one strict lane per (survivor, instance q).
+    q_base: List[int] = []
+    q_x0: List[int] = []
+    q_limit: List[int] = []
+    q_counts: List[int] = []
+    q_eC: List[int] = []
+    q_eT: List[int] = []
+    q_eJ: List[int] = []
+    q_meta: List[Tuple[int, int, int]] = []  # (survivor_id, q, r_shift)
+    for sid, (m, i, T, D, J, B, step0_tail, arr) in enumerate(survivors):
+        L = L_vals[sid]
+        n_inst = -((-(L + J)) // T)
+        if n_inst > max_instances:
+            continue
+        tc = pack.master_tc[m]
+        for q in range(n_inst if n_inst > 1 else 1):
+            Bq = B + q * tc
+            q_base.append(Bq)
+            q_x0.append(Bq + step0_tail)
+            q_limit.append(q * T + D + J - tc)
+            q_counts.append(len(arr))
+            for C_, T_, J_ in arr:
+                q_eC.append(C_)
+                q_eT.append(T_)
+                q_eJ.append(J_)
+            q_meta.append((sid, q, tc - q * T))
+    w_vals, w_conv, _it = _run_lanes("strict", q_base, q_x0, q_limit,
+                                     q_counts, q_eC, q_eT, q_eJ, None)
+    # Fold instances per survivor: feasible iff every q converged within
+    # its deadline; the worst response is the max over q (identical to
+    # the scalar early-break: a break implies infeasible, which voids
+    # the partial maximum anyway).
+    worst: Dict[int, int] = {}
+    feasible: Dict[int, bool] = {}
+    for lane, (sid, _q, r_shift) in enumerate(q_meta):
+        _m, _i, _T, D, J, _B, _s, _arr = survivors[sid]
+        if not w_conv[lane]:
+            feasible[sid] = False
+            continue
+        r = int(w_vals[lane]) + r_shift
+        if r > worst.get(sid, 0):
+            worst[sid] = r
+        if r + J > D:
+            feasible[sid] = False
+        elif sid not in feasible:
+            feasible[sid] = True
+    for sid, (m, i, _T, _D, J, _B, _s, _arr) in enumerate(survivors):
+        if feasible.get(sid, False):
+            results[m][i] = worst.get(sid, 0) + J
+    return results
+
+
+def _edf_scalar_values(pack: NetworkPack) -> List[List[Tuple]]:
+    return [
+        list(kernels.edf_master_response_times(pack.master_specs(m),
+                                               pack.master_tc[m]))
+        for m in range(pack.n_masters)
+    ]
+
+
+def _edf_values(pack: NetworkPack,
+                limit_factor: int = 4) -> List[List[Tuple]]:
+    """Eqs. (17)–(18) for every master — the vector mirror of
+    :func:`repro.perf.kernels.edf_master_response_times` (python-backend
+    staging; the numpy backend stages the same lanes in
+    :func:`_edf_flat_np`).
+
+    Per-master utilisation guards and offset generation stay scalar;
+    the master busy periods and every ``(stream, offset)`` recursion
+    become lanes (capped strict map, exact scalar exit order including
+    the overshoot value).  The rare ``U ≈ 1`` hyperperiod branch runs
+    through the scalar kernel unchanged."""
+    results: List[List[Tuple]] = [[] for _ in range(pack.n_masters)]
+    # Stage A: guards + one busy lane per normally-utilised master.
+    b_base: List[int] = []
+    b_x0: List[int] = []
+    b_counts: List[int] = []
+    b_eC: List[int] = []
+    b_eT: List[int] = []
+    b_eJ: List[int] = []
+    normal: List[int] = []  # master ids with a busy lane, in lane order
+    for m in range(pack.n_masters):
+        specs = pack.master_specs(m)
+        n = len(specs)
+        if not n:
+            continue
+        tc = pack.master_tc[m]
+        utils = 0.0
+        for T, _D, _J in specs:
+            utils += tc / T
+        if utils > 1.0 + 1e-12:
+            results[m] = [(None, None)] * n
+            continue
+        if utils > 1.0 - 1e-12:
+            # U == 1 hyperperiod branch: scalar kernel, unchanged.
+            results[m] = list(
+                kernels.edf_master_response_times(specs, tc, limit_factor)
+            )
+            continue
+        b_base.append(tc)
+        b_x0.append(tc + n * tc)
+        b_counts.append(n)
+        for T, _D, J in specs:
+            b_eC.append(tc)
+            b_eT.append(T)
+            b_eJ.append(J)
+        normal.append(m)
+    L_vals, _conv, _it = _run_lanes("ceil", b_base, b_x0, None, b_counts,
+                                    b_eC, b_eT, b_eJ, None)
+    # Stage B: one capped lane per (stream, candidate offset).
+    l_base: List[int] = []
+    l_x0: List[int] = []
+    l_limit: List[int] = []
+    l_counts: List[int] = []
+    l_eC: List[int] = []
+    l_eT: List[int] = []
+    l_eJ: List[int] = []
+    l_eCap: List[int] = []
+    l_meta: List[Tuple[int, int, int, int]] = []  # (m, i, a, tc)
+    for pos, m in enumerate(normal):
+        specs = pack.master_specs(m)
+        tc = pack.master_tc[m]
+        L = L_vals[pos]
+        max_d = max(D for _T, D, _J in specs)
+        sorted_entries = sorted(
+            ((D, tc, T, J), i) for i, (T, D, J) in enumerate(specs)
+        )
+        results[m] = [(0, 0)] * len(specs)
+        for i, (T, D, J) in enumerate(specs):
+            limit = limit_factor * (L + D + J) + tc
+            others = [e for e, idx in sorted_entries if idx != i]
+            for a in kernels.candidate_offsets(specs, D, L):
+                dl = a + D
+                B = tc if max_d > dl else 0
+                own = ((a + J) // T) * tc
+                base = B + own
+                x0 = base
+                cnt = 0
+                for Dj, Cj, Tj, Jj in others:
+                    if Dj > dl:
+                        break
+                    cap = 1 + (dl - Dj + Jj) // Tj
+                    by_time = 1 + Jj // Tj
+                    x0 += (by_time if by_time < cap else cap) * Cj
+                    l_eC.append(Cj)
+                    l_eT.append(Tj)
+                    l_eJ.append(Jj)
+                    l_eCap.append(cap)
+                    cnt += 1
+                l_base.append(base)
+                l_x0.append(x0)
+                l_limit.append(limit)
+                l_counts.append(cnt)
+                l_meta.append((m, i, a, tc))
+    x_vals, _conv, _it = _run_lanes("capped", l_base, l_x0, l_limit,
+                                    l_counts, l_eC, l_eT, l_eJ, l_eCap)
+    # Fold offsets per stream: first strict maximum, offsets ascending —
+    # identical to the scalar `if r > best` scan.
+    for lane, (m, i, a, tc) in enumerate(l_meta):
+        x = int(x_vals[lane])
+        r = tc + x - a
+        if r < tc:
+            r = tc
+        best, _best_a = results[m][i]
+        if r > best:
+            results[m][i] = (r, a)
+    return results
+
+
+# ---------------------------------------------- numpy-backend policy stages
+
+
+def _fcfs_flat_np(pack: NetworkPack):
+    np = _load_numpy()
+    d = pack.np_arrays()
+    sm = d["str_master"]
+    resp = d["m_count"][sm] * d["m_tc"][sm]
+    return resp, None, np.ones(len(sm), dtype=bool)
+
+
+def _dm_flat_np(pack: NetworkPack, max_instances: int = 100_000):
+    """Eq. (16) staged entirely as arrays: one ``lexsort`` ranks every
+    stream of every master at once, segment expansion builds the busy
+    and per-instance lanes, ``reduceat`` folds the verdicts.  Returns
+    ``(resp, None, valid)`` flat over the packed streams in declaration
+    order (``valid`` False = unschedulable/None).
+
+    The float utilisation guard is interval-checked: cumsum reordering
+    error is ≪ the 1e-9 margin, so streams whose guard clears the margin
+    keep the scalar verdict; masters with any stream inside the margin
+    re-run through the scalar kernel, which sums in the bit-exact
+    declaration order."""
+    np = _load_numpy()
+    d = pack.np_arrays()
+    i64 = np.int64
+    aT, aD, aJ = d["aT"], d["aD"], d["aJ"]
+    sm = d["str_master"]
+    m_start, m_count, m_tc = d["m_start"], d["m_count"], d["m_tc"]
+    S = len(aT)
+    resp = np.zeros(S, dtype=i64)
+    valid = np.zeros(S, dtype=bool)
+    if not S:
+        return resp, None, valid
+    # Priority order: (master, D, declaration index).  The sort is
+    # stable with master as primary key and masters are contiguous, so
+    # segment m occupies the same positions [m_start, m_start+count).
+    ord_ = np.lexsort((np.arange(S), aD, sm))
+    seg0 = m_start[sm]
+    nseg = m_count[sm]
+    rank = np.arange(S, dtype=i64) - seg0
+    tc_s = m_tc[sm]
+    Tp, Dp, Jp = aT[ord_], aD[ord_], aJ[ord_]
+    B = np.where(rank < nseg - 1, tc_s, 0)
+    # Interval utilisation guard (inclusive segmented cumsum, priority
+    # order — the reorder vs. the scalar declaration-order sum is what
+    # the margin absorbs).
+    utils_p = tc_s / Tp.astype(np.float64)
+    cs_u = np.cumsum(utils_p)
+    u = cs_u - (cs_u[seg0] - utils_p[seg0])
+    margin = 1e-9 * (u + 1.0)
+    hiB = B > 0
+    def_skip = (u - margin > 1.0 + 1e-12) | (hiB & (u - margin > 1.0 - 1e-12))
+    def_keep = (u + margin <= 1.0 + 1e-12) & (
+        ~hiB | (u + margin <= 1.0 - 1e-12))
+    amb = ~(def_skip | def_keep)
+    m_ok = np.ones(pack.n_masters, dtype=bool)
+    if amb.any():
+        bad = np.unique(sm[amb])
+        m_ok[bad] = False
+        for m in bad.tolist():
+            vals = kernels.dm_master_response_times(
+                pack.master_specs(m), pack.master_tc[m], max_instances)
+            lo = pack.master_stream_start[m]
+            for k, v in enumerate(vals):
+                if v is not None:
+                    resp[lo + k] = v
+                    valid[lo + k] = True
+    # Exclusive segmented cumsum of the strict zero-step contributions
+    # (Σ (⌊J/T⌋+1)·tc over higher ranks) — the lane seed tail.
+    kJ = Jp // Tp + 1
+    if int(kJ.max()) * int(tc_s.max()) * (S + 1) >= _SAFE_TOTAL:
+        raise _VectorRangeError()
+    t0 = kJ * tc_s
+    cs_t = np.cumsum(t0)
+    excl = cs_t - t0
+    step0 = excl - excl[seg0]
+    sur = def_keep & m_ok[sm]
+    sur_idx = np.nonzero(sur)[0]
+    if not len(sur_idx):
+        return resp, None, valid
+    # Busy-period lanes: entries = priority ranks 0..rank (own last).
+    counts_b = rank[sur_idx] + 1
+    E = int(counts_b.sum())
+    if E > _MAX_LANES:
+        raise _VectorRangeError()
+    ent_rel = np.arange(E, dtype=i64) - np.repeat(_cs0(np, counts_b)[:-1],
+                                                  counts_b)
+    ent_pos = np.repeat(seg0[sur_idx], counts_b) + ent_rel
+    base_b = B[sur_idx]
+    L_vals, _conv, it = _lanes_np(
+        "ceil", base_b, base_b + counts_b * tc_s[sur_idx], None, counts_b,
+        tc_s[ent_pos], Tp[ent_pos], Jp[ent_pos], None)
+    _counters.vectorized += it
+    # Instance lanes: one strict lane per (survivor, q).
+    T_s, D_s, J_s = Tp[sur_idx], Dp[sur_idx], Jp[sur_idx]
+    n_inst = -((-(L_vals + J_s)) // T_s)
+    small = n_inst <= max_instances
+    sur2 = sur_idx[small]
+    if not len(sur2):
+        return resp, None, valid
+    nq = np.maximum(n_inst[small], 1)
+    Q = int(nq.sum())
+    if Q > _MAX_LANES:
+        raise _VectorRangeError()
+    lane_sur = np.repeat(np.arange(len(sur2)), nq)
+    qstarts = _cs0(np, nq)[:-1]
+    qv = np.arange(Q, dtype=i64) - np.repeat(qstarts, nq)
+    tc_l = tc_s[sur2][lane_sur]
+    T_l = T_s[small][lane_sur]
+    D_l = D_s[small][lane_sur]
+    J_l = J_s[small][lane_sur]
+    if (int(qv.max()) * int(T_l.max()) + int(D_l.max()) + int(J_l.max())
+            >= _SAFE_TOTAL):
+        raise _VectorRangeError()
+    Bq = B[sur2][lane_sur] + qv * tc_l
+    counts_q = rank[sur2][lane_sur]
+    Eq = int(counts_q.sum())
+    if Eq > _MAX_LANES:
+        raise _VectorRangeError()
+    ent_rel_q = np.arange(Eq, dtype=i64) - np.repeat(_cs0(np, counts_q)[:-1],
+                                                     counts_q)
+    ent_pos_q = np.repeat(seg0[sur2][lane_sur], counts_q) + ent_rel_q
+    w, conv, it = _lanes_np(
+        "strict", Bq, Bq + step0[sur2][lane_sur], qv * T_l + D_l + J_l - tc_l,
+        counts_q, tc_s[ent_pos_q], Tp[ent_pos_q], Jp[ent_pos_q], None)
+    _counters.vectorized += it
+    # Fold instances per survivor (lanes contiguous, nq ≥ 1 each).
+    r = w + tc_l - qv * T_l
+    ok_lane = conv & (r + J_l <= D_l)
+    feas = np.logical_and.reduceat(ok_lane, qstarts)
+    worst = np.maximum.reduceat(r, qstarts)
+    decl = ord_[sur2]
+    resp[decl[feas]] = (worst + J_s[small])[feas]
+    valid[decl[feas]] = True
+    return resp, None, valid
+
+
+def _edf_flat_np(pack: NetworkPack, limit_factor: int = 4):
+    """Eqs. (17)–(18) staged entirely as arrays: candidate offsets come
+    from an (i, j) pair expansion + global ``lexsort``/dedup, deadline
+    scopes from a full-cross selection mask, the first-strict-max fold
+    from paired ``reduceat`` passes.  Returns ``(resp, crit, valid)``
+    flat over the packed streams in declaration order."""
+    np = _load_numpy()
+    d = pack.np_arrays()
+    i64 = np.int64
+    aT, aD, aJ = d["aT"], d["aD"], d["aJ"]
+    sm = d["str_master"]
+    m_start, m_count, m_tc = d["m_start"], d["m_count"], d["m_tc"]
+    S = len(aT)
+    M = pack.n_masters
+    resp = np.zeros(S, dtype=i64)
+    crit = np.zeros(S, dtype=i64)
+    valid = np.zeros(S, dtype=bool)
+    if not S:
+        return resp, crit, valid
+    # Interval utilisation guard per master (declaration-order cumsum;
+    # margin as in the DM stage).
+    utils_el = m_tc[sm] / aT.astype(np.float64)
+    cs_u = np.cumsum(utils_el)
+    nz = m_count > 0
+    starts_nz = m_start[nz]
+    ends_nz = starts_nz + m_count[nz]
+    u_m = np.zeros(M)
+    u_m[nz] = cs_u[ends_nz - 1] - (cs_u[starts_nz] - utils_el[starts_nz])
+    margin = 1e-9 * (u_m + 1.0)
+    def_none = nz & (u_m - margin > 1.0 + 1e-12)
+    def_norm = nz & (u_m + margin <= 1.0 - 1e-12)
+    scalar_m = nz & ~def_none & ~def_norm
+    if scalar_m.any():
+        # Ambiguous guard or the U ≈ 1 hyperperiod region: the scalar
+        # kernel decides with the bit-exact declaration-order sum.
+        for m in np.nonzero(scalar_m)[0].tolist():
+            vals = kernels.edf_master_response_times(
+                pack.master_specs(m), pack.master_tc[m], limit_factor)
+            lo = pack.master_stream_start[m]
+            for k, (rv, av) in enumerate(vals):
+                if rv is not None:
+                    resp[lo + k] = rv
+                    crit[lo + k] = av
+                    valid[lo + k] = True
+    nm_idx = np.nonzero(def_norm)[0]
+    if not len(nm_idx):
+        return resp, crit, valid
+    # Busy lanes: one per normal master, blocking = tc, entries = all
+    # its streams (order irrelevant: the map sums them).
+    cnt_n = m_count[nm_idx]
+    tc_n = m_tc[nm_idx]
+    En = int(cnt_n.sum())
+    ent_rel = np.arange(En, dtype=i64) - np.repeat(_cs0(np, cnt_n)[:-1],
+                                                   cnt_n)
+    ent_pos = np.repeat(m_start[nm_idx], cnt_n) + ent_rel
+    L_vals, _conv, it = _lanes_np(
+        "ceil", tc_n, tc_n + cnt_n * tc_n, None, cnt_n,
+        np.repeat(tc_n, cnt_n), aT[ent_pos], aJ[ent_pos], None)
+    _counters.vectorized += it
+    L_of_m = np.zeros(M, dtype=i64)
+    L_of_m[nm_idx] = L_vals
+    maxD_m = np.zeros(M, dtype=i64)
+    maxD_m[nz] = np.maximum.reduceat(aD, starts_nz)
+    # Candidate offsets: (i, j) pair expansion per normal master —
+    # a = D_j − D_i + k·T_j for every k with 0 ≤ a ≤ L, plus the
+    # jitter points a − J_j ≥ 0, plus the zero point per stream —
+    # then one global sort + dedup (kernels.candidate_offsets exactly).
+    c2 = cnt_n * cnt_n
+    P2 = int(c2.sum())
+    if P2 > _MAX_LANES:
+        raise _VectorRangeError()
+    prel = np.arange(P2, dtype=i64) - np.repeat(_cs0(np, c2)[:-1], c2)
+    p_m = np.repeat(np.arange(len(nm_idx)), c2)
+    mstart_p = np.repeat(m_start[nm_idx], c2)
+    c_of = cnt_n[p_m]
+    i_pos = mstart_p + prel // c_of
+    j_pos = mstart_p + prel % c_of
+    base_off = aD[j_pos] - aD[i_pos]
+    Tj = aT[j_pos]
+    Jj = aJ[j_pos]
+    Lp = L_vals[p_m]
+    k0 = np.maximum(0, -(base_off // Tj))
+    a_first = base_off + k0 * Tj
+    kcnt = np.where(a_first <= Lp, (Lp - a_first) // Tj + 1, 0)
+    A = int(kcnt.sum())
+    if 2 * A + S > _MAX_LANES:
+        raise _VectorRangeError()
+    a_pair = np.repeat(np.arange(P2), kcnt)
+    t = np.arange(A, dtype=i64) - np.repeat(_cs0(np, kcnt)[:-1], kcnt)
+    a_vals = a_first[a_pair] + t * Tj[a_pair]
+    a_tag = i_pos[a_pair]
+    aj_vals = a_vals - Jj[a_pair]
+    keep_j = (Jj[a_pair] > 0) & (aj_vals >= 0)
+    zero_tag = np.nonzero(def_norm[sm])[0]
+    vals_all = np.concatenate(
+        [np.zeros(len(zero_tag), dtype=i64), a_vals, aj_vals[keep_j]])
+    tags_all = np.concatenate([zero_tag, a_tag, a_tag[keep_j]])
+    order2 = np.lexsort((vals_all, tags_all))
+    v_s = vals_all[order2]
+    t_s = tags_all[order2]
+    keep = np.empty(len(v_s), dtype=bool)
+    keep[0] = True
+    keep[1:] = (t_s[1:] != t_s[:-1]) | (v_s[1:] != v_s[:-1])
+    lane_a = v_s[keep]
+    lane_i = t_s[keep]
+    # One capped lane per (stream, offset); offsets ascending per
+    # stream by construction of the sort.
+    nl = len(lane_a)
+    m_l = sm[lane_i]
+    tc_L = m_tc[m_l]
+    D_i, T_i, J_i = aD[lane_i], aT[lane_i], aJ[lane_i]
+    Lmax = int(L_vals.max(initial=0))
+    Dmax = int(aD.max(initial=0))
+    Jmax = int(aJ.max(initial=0))
+    tcmax = int(tc_n.max(initial=0))
+    Tmin = int(aT.min(initial=1))
+    if (limit_factor * (Lmax + Dmax + Jmax) + tcmax >= _SAFE_TOTAL
+            or ((Lmax + Jmax) // Tmin + 1) * tcmax >= _SAFE_TOTAL):
+        raise _VectorRangeError()
+    dl = lane_a + D_i
+    Bl = np.where(maxD_m[m_l] > dl, tc_L, 0)
+    own = ((lane_a + J_i) // T_i) * tc_L
+    lim_l = limit_factor * (L_of_m[m_l] + D_i + J_i) + tc_L
+    # Deadline scope: full-cross candidates per lane, mask-selected
+    # (D_j ≤ a + D_i, j ≠ i; order within a lane is irrelevant — the
+    # map sums the scope).
+    c_l = m_count[m_l]
+    EC = int(c_l.sum())
+    if EC > _MAX_LANES:
+        raise _VectorRangeError()
+    ent_lane = np.repeat(np.arange(nl), c_l)
+    erel = np.arange(EC, dtype=i64) - np.repeat(_cs0(np, c_l)[:-1], c_l)
+    epos = np.repeat(m_start[m_l], c_l) + erel
+    sel = (aD[epos] <= dl[ent_lane]) & (epos != lane_i[ent_lane])
+    epos_s = epos[sel]
+    elane_s = ent_lane[sel]
+    cnts = np.bincount(elane_s, minlength=nl).astype(i64)
+    eT2, eJ2, eD2 = aT[epos_s], aJ[epos_s], aD[epos_s]
+    eC2 = m_tc[sm[epos_s]]
+    cap = 1 + (dl[elane_s] - eD2 + eJ2) // eT2
+    kseed = np.minimum(1 + eJ2 // eT2, cap)
+    if (int(kseed.max(initial=0)) * int(eC2.max(initial=0))
+            * int(cnts.max(initial=0))
+            + int(Bl.max(initial=0)) + int(own.max(initial=0))
+            >= _SAFE_TOTAL):
+        raise _VectorRangeError()
+    base_l = Bl + own
+    csz = _cs0(np, kseed * eC2)
+    ends = np.cumsum(cnts)
+    x0_l = base_l + csz[ends] - csz[ends - cnts]
+    x, _conv, it = _lanes_np("capped", base_l, x0_l, lim_l, cnts,
+                             eC2, eT2, eJ2, cap)
+    _counters.vectorized += it
+    # r from the exit value (converged or overshoot — the scalar keeps
+    # both); fold per stream = first strict maximum over ascending a.
+    r = np.maximum(tc_L + x - lane_a, tc_L)
+    fstart = np.nonzero(np.concatenate(([True], lane_i[1:] != lane_i[:-1])))[0]
+    seg_counts = np.diff(np.concatenate((fstart, [nl])))
+    best = np.maximum.reduceat(r, fstart)
+    cand = np.where(r == np.repeat(best, seg_counts),
+                    np.arange(nl, dtype=i64), nl)
+    first = np.minimum.reduceat(cand, fstart)
+    sid = lane_i[fstart]
+    resp[sid] = best
+    crit[sid] = lane_a[first]
+    valid[sid] = True
+    return resp, crit, valid
+
+
+def _flat_values(pack: NetworkPack, policy: str):
+    """Numpy-backend flat results ``(resp, crit_or_None, valid)`` for a
+    policy, cached on the pack; ``None`` when the pass fell back to the
+    scalar kernels (the per-master cache holds the values instead)."""
+    if policy not in pack._flat:
+        try:
+            if policy == "fcfs":
+                pack._flat[policy] = _fcfs_flat_np(pack)
+            elif policy == "dm":
+                pack._flat[policy] = _dm_flat_np(pack)
+            elif policy == "edf":
+                pack._flat[policy] = _edf_flat_np(pack)
+            else:
+                raise ValueError(f"unknown policy {policy!r}")
+        except _VectorRangeError:
+            pack._flat[policy] = None
+            pack._pm[policy] = (_dm_scalar_values(pack) if policy == "dm"
+                                else _edf_scalar_values(pack))
+    return pack._flat[policy]
+
+
+def master_values(pack: NetworkPack, policy: str) -> List[List]:
+    """Per-master response values for every packed master, in the shape
+    of the scalar per-master kernels (``fcfs``: R per stream; ``dm``:
+    Optional[R]; ``edf``: ``(R, critical_a)``)."""
+    if policy == "fcfs":
+        return _fcfs_values(pack)
+    if policy not in ("dm", "edf"):
+        raise ValueError(f"unknown policy {policy!r}")
+    if policy in pack._pm:
+        return pack._pm[policy]
+    if backend_name() == "numpy":
+        flat = _flat_values(pack, policy)
+        if flat is None:
+            return pack._pm[policy]
+        resp, crit, valid = flat
+        out: List[List] = []
+        for m in range(pack.n_masters):
+            lo = pack.master_stream_start[m]
+            hi = pack.master_stream_start[m + 1]
+            if policy == "dm":
+                out.append([int(resp[s]) if valid[s] else None
+                            for s in range(lo, hi)])
+            else:
+                out.append([(int(resp[s]), int(crit[s])) if valid[s]
+                            else (None, None) for s in range(lo, hi)])
+        pack._pm[policy] = out
+        return out
+    try:
+        vals = _dm_values(pack) if policy == "dm" else _edf_values(pack)
+    except _VectorRangeError:
+        vals = (_dm_scalar_values(pack) if policy == "dm"
+                else _edf_scalar_values(pack))
+    pack._pm[policy] = vals
+    return vals
+
+
+def batch_pairs(pack: NetworkPack, policy: str):
+    """Yield ``(original_index, tcycle, [(response, deadline), …])`` per
+    packed network — the :func:`repro.perf.batch._fold_responses`
+    input, straight from the arrays."""
+    values = master_values(pack, policy)
+    for p in range(pack.n_packed):
+        pairs: List[Tuple[Optional[int], int]] = []
+        for m in pack.masters_of(p):
+            specs = pack.master_specs(m)
+            vals = values[m]
+            if policy == "edf":
+                vals = [r for r, _a in vals]
+            pairs.extend(
+                (None if r is None else int(r), d)
+                for (_t, d, _j), r in zip(specs, vals)
+            )
+        yield pack.indices[p], pack.tc[p], pairs
+
+
+def _fold_pairs(pairs):
+    """(schedulable, worst_response, worst_slack) — the exact fold of
+    :func:`repro.perf.batch._fold_responses`."""
+    schedulable = True
+    worst_r: Optional[int] = None
+    worst_slack: Optional[int] = None
+    for r, dd in pairs:
+        if r is None:
+            schedulable = False
+            continue
+        if r > dd:
+            schedulable = False
+        if worst_r is None or r > worst_r:
+            worst_r = r
+        slack = dd - r
+        if worst_slack is None or slack < worst_slack:
+            worst_slack = slack
+    return schedulable, worst_r, worst_slack if schedulable else None
+
+
+def batch_summaries(pack: NetworkPack, policy: str):
+    """``(original_index, tcycle, schedulable, worst_response,
+    worst_slack)`` per packed network — the fully-folded
+    :class:`repro.perf.batch.BatchResult` fields.  The numpy backend
+    folds over the network CSR with ``reduceat``; the python backend
+    folds the pairs exactly as ``batch._fold_responses`` does."""
+    if backend_name() != "numpy":
+        return [(idx, tc) + _fold_pairs(pairs)
+                for idx, tc, pairs in batch_pairs(pack, policy)]
+    flat = _flat_values(pack, policy)
+    if flat is None:
+        return [(idx, tc) + _fold_pairs(pairs)
+                for idx, tc, pairs in batch_pairs(pack, policy)]
+    np = _load_numpy()
+    d = pack.np_arrays()
+    i64 = np.int64
+    resp, _crit, valid = flat
+    aD = d["aD"]
+    nss = d["nss"]
+    P = pack.n_packed
+    cnt = nss[1:] - nss[:-1]
+    ok = valid & (resp <= aD)
+    cso = _cs0(np, ok.astype(i64))
+    sched = (cso[nss[1:]] - cso[nss[:-1]]) == cnt
+    BIG = _SAFE_TOTAL
+    wr_m = np.full(P, -1, dtype=i64)
+    sl_m = np.full(P, BIG, dtype=i64)
+    nzn = cnt > 0
+    if nzn.any():
+        starts = nss[:-1][nzn]
+        wr_m[nzn] = np.maximum.reduceat(np.where(valid, resp, -1), starts)
+        sl_m[nzn] = np.minimum.reduceat(np.where(valid, aD - resp, BIG),
+                                        starts)
+    return [
+        (idx, tc, sch,
+         None if wr < 0 else wr,
+         sl if sch and sl < BIG else None)
+        for idx, tc, sch, wr, sl in zip(
+            pack.indices, pack.tc, sched.tolist(), wr_m.tolist(),
+            sl_m.tolist())
+    ]
+
+
+def response_rows(network, policy: str,
+                  ttr: Optional[int] = None) -> Dict[str, Any]:
+    """``{"tcycle": …, "rows": [[master, stream, R], …]}`` for one
+    network through the vector kernels — the same shape as the golden
+    ``analysis`` rows, for the three-way oracles.  Falls back to the
+    scalar analysis for unpackable networks (identical semantics)."""
+    pack = pack_networks([network], ttr=ttr)
+    if pack.fallback:
+        from ..profibus import ttr as ttr_mod
+
+        res = ttr_mod.analyse(network, policy, ttr=ttr)
+        return {
+            "tcycle": res.tcycle,
+            "rows": [[sr.master, sr.stream.name, sr.R]
+                     for sr in res.per_stream],
+        }
+    values = master_values(pack, policy)
+    rows: List[List[Any]] = []
+    for m, master in zip(pack.masters_of(0), network.masters):
+        vals = values[m]
+        if policy == "edf":
+            vals = [r for r, _a in vals]
+        for stream, r in zip(master.high_streams, vals):
+            rows.append([master.name, stream.name,
+                         None if r is None else int(r)])
+    return {"tcycle": pack.tc[0], "rows": rows}

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..perf.config import fast_path_enabled
 from .cycle import token_pass_time
 from .phy import PhyParameters
 from .stream import MessageStream
@@ -111,6 +112,62 @@ def stream_specs(master: Master) -> Optional[tuple]:
             specs = None
         memo["specs"] = specs
     return specs
+
+
+def master_pack_columns(master: Master, phy) -> Optional[tuple]:
+    """One fused extraction pass for the SoA packer
+    (:func:`repro.perf.vector.pack_networks`): ``(Ts, Ds, Js, maxval,
+    longest_cycle)`` from a single walk of ``master.streams`` — the
+    high-priority ``(T, D, J)`` specs transposed into columns, their
+    magnitude ceiling, and the eq. (13) ``C_M^k`` term — or ``None``
+    when any high-priority attribute is not a plain int.  Memoised per
+    (master, PHY): packing is per-network-constant-cost bound, and the
+    batch drivers pack the same master against one PHY thousands of
+    times."""
+    memo = master_memo(master)
+    entry = memo.get("pack_cols")
+    if entry is not None and entry[0] is phy:
+        return entry[1]
+    ts: list = []
+    ds: list = []
+    js: list = []
+    mx = 0
+    cm = 0
+    ok = True
+    fp = fast_path_enabled()
+    for s in master.streams:
+        # Inline warm probe of the stream's single-slot cycle memo (the
+        # TTR assignment walks the cycle lengths, so it is usually
+        # populated); cold or fast-path-disabled streams take the
+        # canonical s.cycle_bits path.
+        cb = s.C_bits
+        if cb is None:
+            mc = getattr(s, "_cycle_memo", None) if fp else None
+            cb = mc[1] if mc is not None and mc[0] is phy \
+                else s.cycle_bits(phy)
+        if cb > cm:
+            cm = cb
+        if not s.high_priority:
+            continue
+        t = s.T
+        d = s.D
+        j = s.J
+        if type(t) is int and type(d) is int and type(j) is int:
+            if t > mx:
+                mx = t
+            if d > mx:
+                mx = d
+            if j > mx:
+                mx = j
+            ts.append(t)
+            ds.append(d)
+            js.append(j)
+        else:
+            ok = False
+            break
+    cols = (tuple(ts), tuple(ds), tuple(js), mx, cm) if ok else None
+    memo["pack_cols"] = (phy, cols)
+    return cols
 
 
 @dataclass(frozen=True)

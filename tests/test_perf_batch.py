@@ -183,17 +183,35 @@ class TestBenchmark:
         assert report["schema"] == SCHEMA
         assert report["consistent"] is True
         assert report["workload"]["analyses"] == 30
-        for mode in ("generic_serial", "fast_serial", "fast_parallel"):
+        for mode in ("generic_serial", "fast_serial", "vectorized_serial",
+                     "fast_parallel", "vectorized_parallel"):
             entry = report["modes"][mode]
             assert entry["analyses_per_sec"] > 0
             assert entry["iterations"] > 0
         assert report["modes"]["fast_serial"]["speedup_vs_generic"] > 0
+        vec = report["modes"]["vectorized_serial"]
+        assert vec["speedup_vs_generic"] > 0
+        assert vec["speedup_vs_fast"] > 0
+        from repro.perf import vector
+
+        assert report["machine"]["numpy"] == vector.numpy_version()
+        assert report["machine"]["vector_backend"] == vector.backend_name()
         out = tmp_path / "BENCH_batch.json"
         write_benchmark(report, str(out))
         loaded = json.loads(out.read_text())
         assert loaded["schema"] == SCHEMA
         lines = format_report(report)
         assert any("fast_serial" in line for line in lines)
+        assert any("vectorized_serial" in line for line in lines)
+
+    def test_mode_restriction(self):
+        report = run_benchmark(n_networks=6, workers=1, rounds=1, seed=3,
+                               modes=("generic", "vectorized"))
+        assert set(report["modes"]) == {"generic_serial", "vectorized_serial",
+                                        "vectorized_parallel"}
+        with pytest.raises(ValueError):
+            run_benchmark(n_networks=4, workers=1, rounds=1,
+                          modes=("warp",))
 
     def test_cli_bench_writes_json(self, tmp_path, capsys):
         from repro.cli import main
@@ -208,7 +226,23 @@ class TestBenchmark:
         data = json.loads(out.read_text())
         assert data["schema"] == SCHEMA
         assert "fast_serial" in data["modes"]
+        assert "vectorized_serial" in data["modes"]
         assert "wrote" in capsys.readouterr().out
+
+    def test_cli_bench_mode_restriction(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_batch.json"
+        rc = main([
+            "bench", "--networks", "6", "--rounds", "1", "--workers", "1",
+            "--mode", "fast", "vectorized", "--out", str(out),
+        ])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert set(data["modes"]) == {"fast_serial", "fast_parallel",
+                                      "vectorized_serial",
+                                      "vectorized_parallel"}
+        capsys.readouterr()
 
 
 class TestSweepWorkers:
