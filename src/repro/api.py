@@ -50,8 +50,7 @@ from .profibus import sweep as sweep_mod
 from .profibus import ttr as ttr_mod
 from .profibus.network import Master, Network
 from .profibus.serialization import ScenarioFormatError
-
-API_SCHEMA = "profibus-rt/api/v1"
+from .schemas import API_SCHEMA
 
 OPS = ("analyse", "sweep", "admission")
 POLICIES = ("fcfs", "dm", "edf")

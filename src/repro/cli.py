@@ -291,6 +291,27 @@ def _cmd_fuzz(args) -> int:
     return 0 if result.ok and not result.promotion_errors else 1
 
 
+def _cmd_lint(args) -> int:
+    from .lint import LintUsageError, render_json, render_text, run_lint
+
+    try:
+        result = run_lint(
+            args.paths,
+            rule_ids=args.rules or None,
+            baseline=args.baseline,
+            update_baseline=args.update_baseline,
+        )
+    except LintUsageError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    doc = result.to_doc()
+    if args.format == "json":
+        print(render_json(doc), end="")
+    else:
+        print(render_text(doc), end="")
+    return result.exit_code
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -693,6 +714,26 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--mutant", nargs="*", default=None, metavar="NAME",
                     help="restrict to these mutants (default: all)")
     cp.set_defaults(func=_cmd_corpus_mutants)
+
+    p = sub.add_parser(
+        "lint",
+        help="static invariant checks (bit-exactness, determinism, "
+             "schema contracts) -> exit 1 on findings",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files/directories to lint (default: src)")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="report format (json follows schema "
+                        "profibus-rt/lint/v1)")
+    p.add_argument("--rules", nargs="*", default=None, metavar="REPxxx",
+                   help="restrict to these rule ids (default: all)")
+    p.add_argument("--baseline", default=None, metavar="BASELINE.jsonl",
+                   help="JSONL baseline: existing findings listed there "
+                        "are subtracted from the report")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="freeze the current findings into --baseline "
+                        "and report clean")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
         "serve",

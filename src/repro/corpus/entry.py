@@ -38,8 +38,7 @@ from typing import Any, Dict
 
 from ..profibus import serialization as serialization_mod
 from ..profibus.network import Network
-
-CORPUS_SCHEMA = "profibus-rt/corpus/v1"
+from ..schemas import CORPUS_SCHEMA
 
 #: Golden sections, in the (cheap-first) order ``check`` evaluates them.
 GOLDEN_SECTIONS = ("analysis", "sweep", "roundtrip", "validation")

@@ -54,6 +54,7 @@ from typing import (
 
 from ..perf.batch import analyse_many, pooled_imap
 from ..profibus.network import Network
+from ..schemas import FUZZ_CHECKPOINT_SCHEMA as _CHECKPOINT_SCHEMA
 from .families import FAMILIES, family_rng, generate_instance
 from .oracles import (
     DEFAULT_POLICIES,
@@ -77,7 +78,6 @@ ORACLES = (ORACLE_SOUNDNESS, ORACLE_KERNEL, ORACLE_ROUNDTRIP, ORACLE_SWEEP)
 #: counters kept per oracle, overall and per family
 COUNTERS = ("checked", "failed", "skipped", "extended")
 
-_CHECKPOINT_SCHEMA = "profibus-rt/fuzz-checkpoint/v1"
 
 
 @dataclass(frozen=True)

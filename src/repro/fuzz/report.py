@@ -21,9 +21,8 @@ from pathlib import Path
 from typing import Any, Dict, Union
 
 from ..profibus.serialization import network_to_dict
+from ..schemas import FUZZ_SCHEMA
 from .campaign import COUNTERS, CampaignResult, CounterExample
-
-FUZZ_SCHEMA = "profibus-rt/fuzz/v2"
 
 
 def _counterexample_doc(ce: CounterExample) -> Dict[str, Any]:

@@ -1,0 +1,58 @@
+"""`repro.lint` — AST-based static enforcement of the repo's contracts.
+
+The test suite proves the bit-exactness, determinism, and schema
+contracts *dynamically* — 798 tests, fuzz oracles, corpus mutants — but
+a violation that no seeded workload happens to cross still ships.  This
+package closes that gap with a **single-pass static analysis** that
+runs in seconds on every commit, before any test:
+
+=======  ==================  ===========================================
+rule     title               invariant
+=======  ==================  ===========================================
+REP001   exact-arithmetic    no true division / float literals /
+                             ``float()``/float ``math.*`` calls in the
+                             kernel-critical modules
+REP002   determinism         no module-level RNG, wall-clock, or
+                             environment reads in the analysis core and
+                             generators
+REP003   schema-registry     every ``profibus-rt/<name>/v<k>`` literal
+                             comes from :mod:`repro.schemas`; the
+                             registry is coherent and documented
+REP004   pickle-safety       pool-submitted callables are module-level
+                             defs, not lambdas/closures
+REP005   seam-integrity      every mutant seam in ``corpus/mutants.py``
+                             still resolves to a live attribute
+REP006   frozen-api          no attribute assignment to frozen
+                             ``repro.api`` instances outside their
+                             constructors
+=======  ==================  ===========================================
+
+Run it as ``repro-cli lint src/ [--format json|text] [--rules ...]
+[--baseline FILE [--update-baseline]]``; exit code 0 = clean, 1 =
+findings, 2 = usage error.  Per-line exceptions are recorded inline as
+``# lint: disable=REPxxx — <reason>``.  Rule strength is proven the
+same way the corpus proves mutant strength: ``tests/lint_fixtures/``
+holds known-bad snippets every rule must flag, asserted in tier-1.
+"""
+
+from .engine import FileContext, Finding, LintEngine, ProjectContext, Rule
+from .report import render_json, render_text, report_doc
+from .rules import ALL_RULES, make_rules
+from .runner import LintResult, LintUsageError, collect_files, run_lint
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "LintUsageError",
+    "ProjectContext",
+    "Rule",
+    "collect_files",
+    "make_rules",
+    "render_json",
+    "render_text",
+    "report_doc",
+    "run_lint",
+]

@@ -1,0 +1,56 @@
+"""JSONL baseline: adopt lint on a tree with known findings.
+
+A baseline file freezes the *currently accepted* findings so the lint
+gate can demand "no new findings" before the old ones are burned down.
+One JSON object per line, keyed line-independently (rule, path,
+message) so unrelated edits that shift code do not resurrect baselined
+findings.  The committed tree carries **no** baseline — every accepted
+exception is an inline ``# lint: disable=REPxxx — <reason>`` — but the
+mechanism exists for downstream forks and for staging large rule
+additions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple, Union
+
+from .engine import Finding
+
+
+def write_baseline(path: Union[str, Path],
+                   findings: Sequence[Finding]) -> int:
+    """Freeze the given findings; returns the number of rows written."""
+    rows = sorted({f.baseline_key for f in findings})
+    text = "".join(
+        json.dumps({"rule": rule, "path": fpath, "message": message},
+                   sort_keys=True) + "\n"
+        for rule, fpath, message in rows
+    )
+    Path(path).write_text(text)
+    return len(rows)
+
+
+def load_baseline(path: Union[str, Path]) -> Set[Tuple[str, str, str]]:
+    """The set of baselined finding keys; raises ``ValueError`` on a
+    malformed file (a silently-ignored baseline would hide findings)."""
+    keys: Set[Tuple[str, str, str]] = set()
+    text = Path(path).read_text()
+    for n, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+            keys.add((doc["rule"], doc["path"], doc["message"]))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ValueError(f"bad baseline row at {path}:{n}: {exc}")
+    return keys
+
+
+def apply_baseline(
+    findings: Sequence[Finding], keys: Set[Tuple[str, str, str]]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, number_baselined)."""
+    fresh = [f for f in findings if f.baseline_key not in keys]
+    return fresh, len(findings) - len(fresh)

@@ -1,0 +1,387 @@
+"""Single-pass AST visitor engine, rule registry, and suppressions.
+
+One parse per file, one traversal per file: the engine walks the AST
+exactly once and dispatches every node to each active rule's
+``visit_<NodeType>`` handler.  While walking it maintains the scope
+context rules need for more than pattern matching — the enclosing
+class stack and a function-scope stack with the names bound locally in
+each frame (and *how* they were bound: nested ``def``, ``lambda``
+assignment, or anything else) — so rules like pickle-safety can tell a
+module-level callable from a closure without a second pass.
+
+Suppressions are inline comments, collected from the token stream (the
+AST does not keep comments):
+
+* ``# lint: disable=REP001`` on a line suppresses that rule for the
+  findings anchored to that line;
+* the same comment on a line of its own also covers the next
+  non-comment line (for statements too long to share a line with an
+  explanation);
+* ``# lint: disable-file=REP001`` anywhere suppresses the rule for the
+  whole file.
+
+A comma list (``disable=REP001,REP004``) names several rules; text
+after the rule list is the human justification and is encouraged —
+the repo convention is ``# lint: disable=REPxxx — <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: ``# lint: disable=REP001,REP002 — reason`` / ``# lint: disable-file=...``
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*(disable(?:-file)?)\s*=\s*([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-independent identity used by the baseline file: a
+        finding survives unrelated edits that only shift it."""
+        return (self.rule, self.path, self.message)
+
+
+class Rule:
+    """Base class every lint rule extends.
+
+    Subclasses set :attr:`rule_id`/:attr:`title`/:attr:`rationale`,
+    override :meth:`applies` to scope themselves to module paths, and
+    implement ``visit_<NodeType>(ctx, node)`` handlers.  Per-file state
+    belongs in :meth:`begin_file`; repo-level checks (cross-file
+    resolution, registry coherence) go in :meth:`finalize`.
+    """
+
+    rule_id: str = "REP000"
+    title: str = ""
+    rationale: str = ""
+
+    def applies(self, ctx: "FileContext") -> bool:
+        return True
+
+    def begin_file(self, ctx: "FileContext") -> None:
+        pass
+
+    def end_file(self, ctx: "FileContext") -> None:
+        pass
+
+    def enter_scope(self, ctx: "FileContext", node: ast.AST) -> None:
+        pass
+
+    def exit_scope(self, ctx: "FileContext", node: ast.AST) -> None:
+        pass
+
+    def finalize(self, project: "ProjectContext") -> Iterable[Finding]:
+        return ()
+
+
+@dataclass
+class FunctionScope:
+    """One function frame on the context stack: the node plus the names
+    it binds locally, mapped to the binding kind (``'def'``,
+    ``'lambda'``, or ``'other'``)."""
+
+    node: ast.AST
+    bindings: Dict[str, str] = field(default_factory=dict)
+
+
+def _bind_target(target: ast.AST, kind: str, out: Dict[str, str]) -> None:
+    if isinstance(target, ast.Name):
+        out.setdefault(target.id, kind)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _bind_target(elt, kind, out)
+    elif isinstance(target, ast.Starred):
+        _bind_target(target.value, kind, out)
+
+
+def local_bindings(fn: ast.AST) -> Dict[str, str]:
+    """Names bound inside a function body (without descending into
+    nested function/class bodies), mapped to their binding kind."""
+    bindings: Dict[str, str] = {}
+    if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        a = fn.args
+        for arg in (list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs)
+                    + ([a.vararg] if a.vararg else [])
+                    + ([a.kwarg] if a.kwarg else [])):
+            bindings.setdefault(arg.arg, "other")
+
+    def scan(stmts: Sequence[ast.stmt]) -> None:
+        for st in stmts:
+            if isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bindings.setdefault(st.name, "def")
+            elif isinstance(st, ast.ClassDef):
+                bindings.setdefault(st.name, "other")
+            elif isinstance(st, ast.Assign):
+                kind = "lambda" if isinstance(st.value, ast.Lambda) else "other"
+                for t in st.targets:
+                    _bind_target(t, kind, bindings)
+            elif isinstance(st, ast.AnnAssign) and st.value is not None:
+                kind = "lambda" if isinstance(st.value, ast.Lambda) else "other"
+                _bind_target(st.target, kind, bindings)
+            elif isinstance(st, (ast.For, ast.AsyncFor)):
+                _bind_target(st.target, "other", bindings)
+                scan(st.body)
+                scan(st.orelse)
+            elif isinstance(st, (ast.With, ast.AsyncWith)):
+                for item in st.items:
+                    if item.optional_vars is not None:
+                        _bind_target(item.optional_vars, "other", bindings)
+                scan(st.body)
+            elif isinstance(st, (ast.If, ast.While)):
+                scan(st.body)
+                scan(st.orelse)
+            elif isinstance(st, ast.Try):
+                scan(st.body)
+                for handler in st.handlers:
+                    if handler.name:
+                        bindings.setdefault(handler.name, "other")
+                    scan(handler.body)
+                scan(st.orelse)
+                scan(st.finalbody)
+            elif isinstance(st, (ast.Import, ast.ImportFrom)):
+                for alias in st.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    bindings.setdefault(name, "other")
+
+    body = getattr(fn, "body", None)
+    if isinstance(body, list):
+        scan(body)
+    return bindings
+
+
+class FileContext:
+    """Everything the rules can see about the file being linted."""
+
+    def __init__(self, path: Path, display: str, source: str,
+                 tree: ast.Module, project: "ProjectContext") -> None:
+        self.path = path
+        self.display = display
+        self.source = source
+        self.tree = tree
+        self.project = project
+        #: repro-relative module path, e.g. ``("profibus", "dm")`` for
+        #: ``src/repro/profibus/dm.py`` (``None`` outside any ``repro``
+        #: package dir).  Rules scope themselves on this.
+        self.relmod: Optional[Tuple[str, ...]] = _relmod(path)
+        self.class_stack: List[ast.ClassDef] = []
+        self.func_stack: List[FunctionScope] = []
+        self.findings: List[Finding] = []
+        self.suppressed_count: int = 0
+        self._line_suppressions: Dict[int, Set[str]] = {}
+        self._file_suppressions: Set[str] = set()
+        self._collect_suppressions()
+
+    # -- suppressions --------------------------------------------------
+
+    def _collect_suppressions(self) -> None:
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(self.source).readline))
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return
+        code_lines: Set[int] = set()
+        comments: List[Tuple[int, bool, str]] = []
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                standalone = tok.line.lstrip().startswith("#")
+                comments.append((tok.start[0], standalone, tok.string))
+            elif tok.type not in (tokenize.NL, tokenize.NEWLINE,
+                                  tokenize.INDENT, tokenize.DEDENT,
+                                  tokenize.ENDMARKER):
+                code_lines.add(tok.start[0])
+        for line, standalone, text in comments:
+            m = _SUPPRESS_RE.search(text)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(2).split(",")}
+            if m.group(1) == "disable-file":
+                self._file_suppressions |= rules
+                continue
+            self._line_suppressions.setdefault(line, set()).update(rules)
+            if standalone:
+                nxt = min((ln for ln in code_lines if ln > line),
+                          default=None)
+                if nxt is not None:
+                    self._line_suppressions.setdefault(nxt, set()).update(rules)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self._file_suppressions:
+            return True
+        return rule_id in self._line_suppressions.get(line, set())
+
+    # -- reporting -----------------------------------------------------
+
+    def report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.is_suppressed(rule_id, line):
+            self.suppressed_count += 1
+            return
+        self.findings.append(Finding(rule=rule_id, path=self.display,
+                                     line=line, col=col, message=message))
+
+
+def _relmod(path: Path) -> Optional[Tuple[str, ...]]:
+    parts = path.resolve().with_suffix("").parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            rel = parts[i + 1:]
+            return tuple(rel) if rel else ("__init__",)
+    return None
+
+
+class ProjectContext:
+    """Repo-level context shared across files: the source root (the
+    directory containing the ``repro`` package), lazily parsed module
+    ASTs for cross-file resolution, and the set of linted files."""
+
+    def __init__(self, files: Sequence[Path],
+                 displays: Optional[Dict[Path, str]] = None) -> None:
+        self.files = [p.resolve() for p in files]
+        #: resolved path -> the path string the caller named it by, so
+        #: finalize findings render consistently with per-file ones
+        self.displays: Dict[Path, str] = displays or {}
+        self.root: Optional[Path] = None
+        for p in self.files:
+            parts = p.parts
+            for i in range(len(parts) - 1, -1, -1):
+                if parts[i] == "repro":
+                    self.root = Path(*parts[:i]) if i else Path(p.anchor)
+                    break
+            if self.root is not None:
+                break
+        self._ast_cache: Dict[str, Optional[Tuple[Path, ast.Module]]] = {}
+
+    def module_path(self, dotted: str) -> Optional[Path]:
+        """Filesystem path of a dotted module inside the linted tree."""
+        if self.root is None:
+            return None
+        base = self.root.joinpath(*dotted.split("."))
+        for candidate in (base.with_suffix(".py"), base / "__init__.py"):
+            if candidate.is_file():
+                return candidate
+        return None
+
+    def module_ast(self, dotted: str) -> Optional[Tuple[Path, ast.Module]]:
+        """Parse (and cache) a module of the linted tree by dotted path;
+        ``None`` when the module does not exist or does not parse."""
+        if dotted in self._ast_cache:
+            return self._ast_cache[dotted]
+        result: Optional[Tuple[Path, ast.Module]] = None
+        path = self.module_path(dotted)
+        if path is not None:
+            try:
+                result = (path, ast.parse(path.read_text()))
+            except (OSError, SyntaxError):
+                result = None
+        self._ast_cache[dotted] = result
+        return result
+
+    def display_for(self, path: Path) -> str:
+        return self.displays.get(path.resolve(), str(path))
+
+    def doc_text(self, name: str) -> Optional[str]:
+        """Contents of a repo-root document (e.g. ``PERF.md``), searched
+        upward from the source root."""
+        if self.root is None:
+            return None
+        for base in (self.root, *self.root.parents):
+            candidate = base / name
+            if candidate.is_file():
+                try:
+                    return candidate.read_text()
+                except OSError:  # pragma: no cover
+                    return None
+        return None
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class LintEngine:
+    """Drives the one-pass traversal: node dispatch plus scope upkeep."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+
+    def lint_file(self, path: Path, display: str,
+                  project: ProjectContext) -> Optional[FileContext]:
+        """Parse and lint one file; ``None`` if it cannot be read."""
+        try:
+            source = path.read_text()
+        except OSError:
+            return None
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            ctx = FileContext(path, display, "", ast.Module(body=[],
+                                                            type_ignores=[]),
+                              project)
+            ctx.findings.append(Finding(
+                rule="REP000", path=display, line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}"))
+            return ctx
+        ctx = FileContext(path, display, source, tree, project)
+        active = [r for r in self.rules if r.applies(ctx)]
+        if not active:
+            return ctx
+        for rule in active:
+            rule.begin_file(ctx)
+        self._walk(ctx, tree, active)
+        for rule in active:
+            rule.end_file(ctx)
+        return ctx
+
+    def _walk(self, ctx: FileContext, node: ast.AST,
+              rules: Sequence[Rule]) -> None:
+        name = type(node).__name__
+        for rule in rules:
+            handler = getattr(rule, "visit_" + name, None)
+            if handler is not None:
+                handler(ctx, node)
+        if isinstance(node, _SCOPE_NODES):
+            ctx.func_stack.append(FunctionScope(node, local_bindings(node)))
+            for rule in rules:
+                rule.enter_scope(ctx, node)
+            for child in ast.iter_child_nodes(node):
+                self._walk(ctx, child, rules)
+            for rule in rules:
+                rule.exit_scope(ctx, node)
+            ctx.func_stack.pop()
+        elif isinstance(node, ast.ClassDef):
+            ctx.class_stack.append(node)
+            for rule in rules:
+                rule.enter_scope(ctx, node)
+            for child in ast.iter_child_nodes(node):
+                self._walk(ctx, child, rules)
+            for rule in rules:
+                rule.exit_scope(ctx, node)
+            ctx.class_stack.pop()
+        else:
+            for child in ast.iter_child_nodes(node):
+                self._walk(ctx, child, rules)

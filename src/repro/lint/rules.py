@@ -1,0 +1,580 @@
+"""The domain rules (REP001–REP006).
+
+Each rule statically enforces one invariant the test suite otherwise
+only checks dynamically:
+
+* **REP001 exact-arithmetic** — the kernel-critical modules compute in
+  exact integer arithmetic; any true division, float literal,
+  ``float()`` call or float-returning ``math.*`` call there risks the
+  bit-exactness contract.  The deliberate float seams (the utilisation
+  guards) carry inline ``# lint: disable=REP001 — <reason>`` markers.
+* **REP002 determinism** — the analysis core and generators must be
+  pure functions of their inputs: no module-level ``random.*`` RNG, no
+  wall-clock reads, no environment reads.  RNGs are threaded as
+  explicit ``random.Random`` parameters.
+* **REP003 schema-registry** — every ``profibus-rt/<name>/v<k>``
+  string literal must come from :mod:`repro.schemas`; the registry
+  itself must be duplicate-free and documented in ``PERF.md``.
+* **REP004 pickle-safety** — callables shipped to process pools
+  (``pooled_map``/``pooled_imap``/executor ``submit``) must be
+  module-level functions (or ``functools.partial`` of one); lambdas
+  and closures only fail at runtime, and only with ``workers > 1``.
+* **REP005 seam-integrity** — every mutant seam in
+  ``corpus/mutants.py`` must resolve to an attribute that still exists,
+  so a refactor cannot silently turn the mutation harness vacuous.
+* **REP006 frozen-api** — :class:`repro.api.AnalysisRequest` /
+  ``AnalysisResult`` instances are immutable value objects; attribute
+  assignment (including ``object.__setattr__`` backdoors) outside
+  their own constructors breaks value-keyed caching.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .engine import FileContext, Finding, ProjectContext, Rule
+
+SCHEMA_LITERAL_RE = re.compile(
+    r"profibus-rt/[a-z0-9][a-z0-9-]*(?:/[a-z0-9][a-z0-9-]*)*/v\d+")
+
+
+# --------------------------------------------------------------- REP001
+
+#: Integer-safe ``math`` functions the kernels may call.
+_INT_SAFE_MATH = {"gcd", "lcm", "isqrt", "ceil", "floor", "comb", "perm",
+                  "factorial", "prod"}
+
+#: repro-relative module paths of the kernel-critical modules.
+KERNEL_MODULES = {
+    ("profibus", "dm"), ("profibus", "edf"), ("profibus", "fcfs"),
+    ("profibus", "fp"), ("profibus", "cycle"), ("profibus", "ttr"),
+    ("perf", "kernels"), ("perf", "vector"),
+}
+
+
+class ExactArithmeticRule(Rule):
+    rule_id = "REP001"
+    title = "exact-arithmetic"
+    rationale = ("kernel-critical modules must stay in exact integer "
+                 "arithmetic: floats round, and a rounded intermediate "
+                 "breaks the bit-identical fast==generic==vectorized "
+                 "contract")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.relmod in KERNEL_MODULES
+
+    def visit_BinOp(self, ctx: FileContext, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Div):
+            ctx.report(self.rule_id, node,
+                       "true division '/' in a kernel-critical module; "
+                       "use '//' (or Fraction) to stay exact")
+
+    def visit_AugAssign(self, ctx: FileContext, node: ast.AugAssign) -> None:
+        if isinstance(node.op, ast.Div):
+            ctx.report(self.rule_id, node,
+                       "true division '/=' in a kernel-critical module; "
+                       "use '//=' (or Fraction) to stay exact")
+
+    def visit_Constant(self, ctx: FileContext, node: ast.Constant) -> None:
+        if isinstance(node.value, float):
+            ctx.report(self.rule_id, node,
+                       f"float literal {node.value!r} in a kernel-critical "
+                       "module")
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            ctx.report(self.rule_id, node,
+                       "float() conversion in a kernel-critical module")
+        elif (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "math"
+                and func.attr not in _INT_SAFE_MATH):
+            ctx.report(self.rule_id, node,
+                       f"math.{func.attr}() returns a float; only "
+                       f"integer-safe math calls ({', '.join(sorted(_INT_SAFE_MATH))}) "
+                       "are allowed in kernel-critical modules")
+
+
+# --------------------------------------------------------------- REP002
+
+_WALLCLOCK_TIME = {"time", "time_ns", "monotonic", "monotonic_ns",
+                   "perf_counter", "perf_counter_ns"}
+_WALLCLOCK_DATETIME = {"now", "utcnow", "today"}
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+class DeterminismRule(Rule):
+    rule_id = "REP002"
+    title = "determinism"
+    rationale = ("the analysis core and generators are pure functions of "
+                 "their inputs; hidden RNG state, wall clocks, and "
+                 "environment reads make fingerprints, goldens, and fuzz "
+                 "replay unreproducible")
+
+    def applies(self, ctx: FileContext) -> bool:
+        rm = ctx.relmod
+        if rm is None:
+            return False
+        return (rm[0] in ("profibus", "gen")
+                or rm == ("fuzz", "families"))
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        value = func.value
+        if isinstance(value, ast.Name) and value.id == "random":
+            if func.attr not in ("Random", "SystemRandom"):
+                ctx.report(self.rule_id, node,
+                           f"module-level RNG call random.{func.attr}(); "
+                           "thread an explicit random.Random through the "
+                           "call chain instead")
+        elif (isinstance(value, ast.Name) and value.id == "time"
+                and func.attr in _WALLCLOCK_TIME):
+            ctx.report(self.rule_id, node,
+                       f"wall-clock read time.{func.attr}() in deterministic "
+                       "code; timestamps belong at the reporting boundary")
+        elif (func.attr in _WALLCLOCK_DATETIME
+                and _root_name(value) in ("datetime", "date")):
+            ctx.report(self.rule_id, node,
+                       f"wall-clock read {_root_name(value)}...{func.attr}() "
+                       "in deterministic code; timestamps belong at the "
+                       "reporting boundary")
+        elif (isinstance(value, ast.Name) and value.id == "os"
+                and func.attr == "getenv"):
+            ctx.report(self.rule_id, node,
+                       "os.getenv() read in deterministic code; "
+                       "configuration must arrive as explicit parameters")
+
+    def visit_Attribute(self, ctx: FileContext, node: ast.Attribute) -> None:
+        if (isinstance(node.value, ast.Name) and node.value.id == "os"
+                and node.attr == "environ"):
+            ctx.report(self.rule_id, node,
+                       "os.environ read in deterministic code; "
+                       "configuration must arrive as explicit parameters")
+
+
+# --------------------------------------------------------------- REP003
+
+class SchemaRegistryRule(Rule):
+    rule_id = "REP003"
+    title = "schema-registry"
+    rationale = ("every profibus-rt/<name>/v<k> tag is a frozen contract "
+                 "defined once in repro.schemas; stray literals drift "
+                 "silently when a version bumps")
+
+    #: dotted path of the registry module inside the linted tree.
+    REGISTRY_MODULE = "repro.schemas"
+
+    def _registry(self, project: ProjectContext) -> Dict[str, str]:
+        """constant name -> schema value, preferring the linted tree's
+        own registry; falls back to the installed :mod:`repro.schemas`."""
+        cached = getattr(project, "_rep003_registry", None)
+        if cached is not None:
+            return cached
+        registry: Dict[str, str] = {}
+        parsed = project.module_ast(self.REGISTRY_MODULE)
+        if parsed is not None:
+            _, tree = parsed
+            for name, value, _line in self._registry_assignments(tree):
+                registry[name] = value
+        else:
+            try:
+                from .. import schemas as _schemas
+                registry = dict(_schemas.SCHEMAS)
+            except Exception:  # pragma: no cover - repro.schemas ships
+                registry = {}
+        project._rep003_registry = registry
+        return registry
+
+    @staticmethod
+    def _registry_assignments(tree: ast.Module):
+        for st in tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(st, ast.Assign):
+                targets, value = st.targets, st.value
+            elif isinstance(st, ast.AnnAssign) and st.value is not None:
+                targets, value = [st.target], st.value
+            if (value is not None and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                    and SCHEMA_LITERAL_RE.fullmatch(value.value)):
+                for t in targets:
+                    if isinstance(t, ast.Name):
+                        yield t.id, value.value, st.lineno
+
+    def applies(self, ctx: FileContext) -> bool:
+        # the registry module is the one place literals are allowed
+        return ctx.relmod != ("schemas",)
+
+    def visit_Constant(self, ctx: FileContext, node: ast.Constant) -> None:
+        if not isinstance(node.value, str):
+            return
+        value = node.value
+        if not SCHEMA_LITERAL_RE.fullmatch(value):
+            return
+        registry = self._registry(ctx.project)
+        by_value = {v: n for n, v in registry.items()}
+        if value in by_value:
+            ctx.report(self.rule_id, node,
+                       f"schema literal {value!r} duplicates registry "
+                       f"constant repro.schemas.{by_value[value]}; import "
+                       "the constant instead of restating the string")
+            return
+        family = value.rpartition("/")[0]
+        families = {v.rpartition("/")[0]: v for v in registry.values()}
+        if family in families:
+            ctx.report(self.rule_id, node,
+                       f"schema literal {value!r} diverges from the "
+                       f"registered version {families[family]!r}; versions "
+                       "move only in repro.schemas")
+        else:
+            ctx.report(self.rule_id, node,
+                       f"unknown schema literal {value!r}: not in the "
+                       "repro.schemas registry")
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        parsed = project.module_ast(self.REGISTRY_MODULE)
+        if parsed is None:
+            return
+        path, tree = parsed
+        if path.resolve() not in project.files:
+            return  # registry not part of this lint run
+        display = project.display_for(path)
+        families: Dict[str, Tuple[str, str, int]] = {}
+        entries = list(self._registry_assignments(tree))
+        for name, value, line in entries:
+            family = value.rpartition("/")[0]
+            prior = families.get(family)
+            if prior is not None and prior[1] != value:
+                yield Finding(
+                    rule=self.rule_id, path=display, line=line, col=0,
+                    message=(f"registry constants {prior[0]} and {name} "
+                             f"register family {family!r} at divergent "
+                             f"versions ({prior[1]!r} vs {value!r})"))
+            families.setdefault(family, (name, value, line))
+        perf_md = project.doc_text("PERF.md")
+        if perf_md is not None:
+            for name, value, line in entries:
+                if value not in perf_md:
+                    yield Finding(
+                        rule=self.rule_id, path=display, line=line, col=0,
+                        message=(f"registry entry {name} = {value!r} is "
+                                 "undocumented: PERF.md never mentions it"))
+
+
+# --------------------------------------------------------------- REP004
+
+_POOL_FUNCTIONS = {"pooled_map", "pooled_imap"}
+
+
+class PickleSafetyRule(Rule):
+    rule_id = "REP004"
+    title = "pickle-safety"
+    rationale = ("process-pool workers receive their callable by pickle; "
+                 "lambdas and closures pass every workers=1 test and only "
+                 "explode on a real pooled run")
+
+    def _describe_unpicklable(self, ctx: FileContext,
+                              expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Lambda):
+            return "a lambda"
+        if isinstance(expr, ast.Name):
+            for scope in ctx.func_stack:
+                kind = scope.bindings.get(expr.id)
+                if kind == "def":
+                    return f"the locally-defined function {expr.id!r}"
+                if kind == "lambda":
+                    return f"the local lambda {expr.id!r}"
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            name = (func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else None)
+            if name == "partial" and expr.args:
+                return self._describe_unpicklable(ctx, expr.args[0])
+        return None
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None)
+        if name in _POOL_FUNCTIONS or name == "submit":
+            if not node.args:
+                return
+            problem = self._describe_unpicklable(ctx, node.args[0])
+            if problem is not None:
+                ctx.report(self.rule_id, node,
+                           f"{name}() is handed {problem}, which cannot "
+                           "pickle to pool workers; hoist it to a "
+                           "module-level def (functools.partial of one "
+                           "is fine)")
+
+
+# --------------------------------------------------------------- REP005
+
+class SeamIntegrityRule(Rule):
+    rule_id = "REP005"
+    title = "seam-integrity"
+    rationale = ("mutants patch module attributes by name; a renamed or "
+                 "deleted seam would otherwise turn the mutation harness "
+                 "vacuous without failing anything")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.relmod == ("corpus", "mutants")
+
+    def begin_file(self, ctx: FileContext) -> None:
+        # alias -> dotted module-ish path, gathered from every import in
+        # the file (the mutant factories import inside their bodies)
+        self._aliases: Dict[str, str] = {}
+        if ctx.relmod is None:
+            return
+        package = ("repro",) + ctx.relmod[:-1]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._aliases[alias.asname or alias.name.split(".")[0]] = \
+                        alias.name if alias.asname else alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = package[:len(package) - (node.level - 1)]
+                else:
+                    base = ()
+                base = base + tuple((node.module or "").split("."))
+                base = tuple(p for p in base if p)
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self._aliases[bound] = ".".join(base + (alias.name,))
+
+    @staticmethod
+    def _toplevel_bindings(tree: ast.Module) -> Dict[str, ast.stmt]:
+        out: Dict[str, ast.stmt] = {}
+        for st in tree.body:
+            if isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+                out.setdefault(st.name, st)
+            elif isinstance(st, ast.Assign):
+                for t in st.targets:
+                    if isinstance(t, ast.Name):
+                        out.setdefault(t.id, st)
+            elif isinstance(st, ast.AnnAssign) and isinstance(st.target,
+                                                              ast.Name):
+                out.setdefault(st.target.id, st)
+            elif isinstance(st, (ast.Import, ast.ImportFrom)):
+                for alias in st.names:
+                    out.setdefault(alias.asname or alias.name.split(".")[0],
+                                   st)
+        return out
+
+    @staticmethod
+    def _class_bindings(cls: ast.ClassDef) -> Set[str]:
+        names: Set[str] = set()
+        for st in cls.body:
+            if isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(st.name)
+            elif isinstance(st, ast.Assign):
+                for t in st.targets:
+                    if isinstance(t, ast.Name):
+                        names.add(t.id)
+            elif isinstance(st, ast.AnnAssign) and isinstance(st.target,
+                                                              ast.Name):
+                names.add(st.target.id)
+        return names
+
+    def _resolve_module(self, ctx: FileContext,
+                        alias: str) -> Optional[Tuple[str, ast.Module]]:
+        """The (dotted, AST) of the module an alias refers to."""
+        dotted = self._aliases.get(alias)
+        if dotted is None:
+            return None
+        parsed = ctx.project.module_ast(dotted)
+        if parsed is not None:
+            return dotted, parsed[1]
+        return None
+
+    def _check_seam(self, ctx: FileContext, call: ast.Call,
+                    target: ast.AST, attr: str) -> None:
+        if isinstance(target, ast.Name):
+            resolved = self._resolve_module(ctx, target.id)
+            if resolved is None:
+                # the alias may be a class imported from a module
+                dotted = self._aliases.get(target.id)
+                if dotted and "." in dotted:
+                    parent, _, leaf = dotted.rpartition(".")
+                    parsed = ctx.project.module_ast(parent)
+                    if parsed is not None:
+                        binding = self._toplevel_bindings(parsed[1]).get(leaf)
+                        if binding is None:
+                            ctx.report(self.rule_id, call,
+                                       f"mutant seam target {target.id!r} "
+                                       f"({dotted}) no longer exists")
+                        elif (isinstance(binding, ast.ClassDef)
+                                and attr not in
+                                self._class_bindings(binding)):
+                            ctx.report(self.rule_id, call,
+                                       f"mutant seam {dotted}.{attr} no "
+                                       "longer exists on that class")
+                        return
+                ctx.report(self.rule_id, call,
+                           f"mutant seam target {target.id!r} cannot be "
+                           "statically resolved to a module of this tree")
+                return
+            dotted, tree = resolved
+            if attr not in self._toplevel_bindings(tree):
+                ctx.report(self.rule_id, call,
+                           f"mutant seam {dotted}.{attr} no longer exists "
+                           "— the mutant would patch a dead attribute and "
+                           "silently stop mutating anything")
+            return
+        if isinstance(target, ast.Attribute) and isinstance(target.value,
+                                                            ast.Name):
+            resolved = self._resolve_module(ctx, target.value.id)
+            if resolved is None:
+                ctx.report(self.rule_id, call,
+                           f"mutant seam target {target.value.id!r} cannot "
+                           "be statically resolved to a module of this tree")
+                return
+            dotted, tree = resolved
+            container = self._toplevel_bindings(tree).get(target.attr)
+            if container is None:
+                ctx.report(self.rule_id, call,
+                           f"mutant seam container {dotted}.{target.attr} "
+                           "no longer exists")
+                return
+            if isinstance(container, ast.ClassDef):
+                if attr not in self._class_bindings(container):
+                    ctx.report(self.rule_id, call,
+                               f"mutant seam {dotted}.{target.attr}.{attr} "
+                               "no longer exists on that class")
+            elif (isinstance(container, ast.Assign)
+                    and isinstance(container.value, ast.Dict)):
+                keys = {k.value for k in container.value.keys
+                        if isinstance(k, ast.Constant)
+                        and isinstance(k.value, str)}
+                # only judge dicts whose keys are all literal strings
+                if (len(keys) == len(container.value.keys)
+                        and attr not in keys):
+                    ctx.report(self.rule_id, call,
+                               f"mutant seam dict key {attr!r} is not a "
+                               f"key of {dotted}.{target.attr}")
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None)
+        if name != "_patched":
+            return
+        for arg in node.args:
+            if (isinstance(arg, ast.Tuple) and len(arg.elts) >= 3
+                    and isinstance(arg.elts[1], ast.Constant)
+                    and isinstance(arg.elts[1].value, str)):
+                self._check_seam(ctx, node, arg.elts[0], arg.elts[1].value)
+
+
+# --------------------------------------------------------------- REP006
+
+_API_TYPES = {"AnalysisRequest", "AnalysisResult"}
+
+
+class FrozenApiRule(Rule):
+    rule_id = "REP006"
+    title = "frozen-api"
+    rationale = ("api request/result instances hash and cache by value; "
+                 "mutating one after construction corrupts every "
+                 "value-keyed cache and dedup structure holding it")
+
+    def begin_file(self, ctx: FileContext) -> None:
+        #: var name -> func-stack depth at which it was bound to an
+        #: api instance (module level = 0)
+        self._tracked: Dict[str, int] = {}
+
+    def exit_scope(self, ctx: FileContext, node: ast.AST) -> None:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            return  # class scopes do not delimit tracked variables
+        depth = len(ctx.func_stack)
+        self._tracked = {name: d for name, d in self._tracked.items()
+                         if d < depth}
+
+    @staticmethod
+    def _api_type_name(expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Name) and expr.id in _API_TYPES:
+            return expr.id
+        if isinstance(expr, ast.Attribute) and expr.attr in _API_TYPES:
+            return expr.attr
+        return None
+
+    def _inside_api_class(self, ctx: FileContext) -> bool:
+        return any(cls.name in _API_TYPES for cls in ctx.class_stack)
+
+    def visit_Assign(self, ctx: FileContext, node: ast.Assign) -> None:
+        depth = len(ctx.func_stack)
+        if (isinstance(node.value, ast.Call)
+                and self._api_type_name(node.value.func)):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    self._tracked[t.id] = depth
+        for t in node.targets:
+            if (isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id in self._tracked
+                    and not self._inside_api_class(ctx)):
+                ctx.report(self.rule_id, node,
+                           f"attribute assignment to frozen api instance "
+                           f"{t.value.id!r} ({t.value.id}.{t.attr} = ...); "
+                           "build a new request/result instead")
+
+    def visit_AnnAssign(self, ctx: FileContext, node: ast.AnnAssign) -> None:
+        if (isinstance(node.target, ast.Name)
+                and self._api_type_name(node.annotation)
+                and not ctx.class_stack):
+            self._tracked[node.target.id] = len(ctx.func_stack)
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        if self._inside_api_class(ctx):
+            return
+        func = node.func
+        is_object_setattr = (
+            isinstance(func, ast.Attribute) and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object")
+        is_plain_setattr = isinstance(func, ast.Name) and func.id == "setattr"
+        if not (is_object_setattr or is_plain_setattr):
+            return
+        if (node.args and isinstance(node.args[0], ast.Name)
+                and node.args[0].id in self._tracked):
+            via = "object.__setattr__" if is_object_setattr else "setattr"
+            ctx.report(self.rule_id, node,
+                       f"{via}() on frozen api instance "
+                       f"{node.args[0].id!r} outside its constructor; "
+                       "frozen means frozen — build a new instance")
+
+
+#: The rule registry, id -> class, in catalogue order.
+ALL_RULES = {
+    rule.rule_id: rule
+    for rule in (ExactArithmeticRule, DeterminismRule, SchemaRegistryRule,
+                 PickleSafetyRule, SeamIntegrityRule, FrozenApiRule)
+}
+
+
+def make_rules(rule_ids: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Instantiate the requested rules (default: all), validating ids."""
+    if rule_ids is None:
+        return [cls() for cls in ALL_RULES.values()]
+    chosen = list(rule_ids)
+    unknown = [r for r in chosen if r not in ALL_RULES]
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {sorted(unknown)}; pick from "
+            f"{sorted(ALL_RULES)}")
+    return [ALL_RULES[r]() for r in chosen]

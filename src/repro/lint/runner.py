@@ -1,0 +1,122 @@
+"""File collection and orchestration for one lint run.
+
+:func:`run_lint` is the single entrypoint both the CLI and the tests
+use: collect ``.py`` files from the given paths, run the engine over
+each, run every rule's repo-level ``finalize`` pass, apply the optional
+baseline, and return a :class:`LintResult` the reporters render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from . import baseline as baseline_mod
+from .engine import Finding, LintEngine, ProjectContext, Rule
+from .report import report_doc
+from .rules import make_rules
+
+
+class LintUsageError(ValueError):
+    """Bad invocation (unknown rule, missing path) — exit code 2."""
+
+
+@dataclass
+class LintResult:
+    findings: List[Finding]
+    files: int
+    rules: List[Rule]
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_doc(self) -> Dict[str, Any]:
+        return report_doc(self.findings, files=self.files, rules=self.rules,
+                          suppressed=self.suppressed,
+                          baselined=self.baselined)
+
+
+def collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand the given files/directories into a sorted list of ``.py``
+    files; a path that does not exist is a usage error."""
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(sorted(q for q in p.rglob("*.py") if q.is_file()))
+        elif p.is_file():
+            out.append(p)
+        else:
+            raise LintUsageError(f"no such file or directory: {raw}")
+    # de-duplicate while keeping order (a file named twice lints once)
+    seen = set()
+    unique: List[Path] = []
+    for p in out:
+        key = p.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    *,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline: Optional[Union[str, Path]] = None,
+    update_baseline: bool = False,
+) -> LintResult:
+    """Lint the given paths.
+
+    ``baseline`` names a JSONL baseline file: with ``update_baseline``
+    the current findings are frozen into it (and the run reports clean);
+    otherwise, if the file exists, baselined findings are subtracted.
+    """
+    try:
+        rules = make_rules(rule_ids)
+    except ValueError as exc:
+        raise LintUsageError(str(exc))
+    files = collect_files(paths)
+    project = ProjectContext(files,
+                             {p.resolve(): str(p) for p in files})
+    engine = LintEngine(rules)
+
+    findings: List[Finding] = []
+    suppressed = 0
+    linted = 0
+    for path in files:
+        ctx = engine.lint_file(path, str(path), project)
+        if ctx is None:
+            raise LintUsageError(f"cannot read {path}")
+        linted += 1
+        findings.extend(ctx.findings)
+        suppressed += ctx.suppressed_count
+    for rule in rules:
+        findings.extend(rule.finalize(project))
+    findings.sort(key=Finding.sort_key)
+
+    baselined = 0
+    if baseline is not None:
+        if update_baseline:
+            baseline_mod.write_baseline(baseline, findings)
+            baselined = len(findings)
+            findings = []
+        elif Path(baseline).is_file():
+            try:
+                keys = baseline_mod.load_baseline(baseline)
+            except ValueError as exc:
+                raise LintUsageError(str(exc))
+            findings, baselined = baseline_mod.apply_baseline(findings, keys)
+    elif update_baseline:
+        raise LintUsageError("--update-baseline needs --baseline FILE")
+
+    return LintResult(findings=findings, files=linted, rules=rules,
+                      suppressed=suppressed, baselined=baselined)

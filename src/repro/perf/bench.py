@@ -35,8 +35,7 @@ from . import vector
 from .batch import DEFAULT_POLICIES, BatchResult, analyse_many, generate_networks
 from .config import ANALYSIS_MODES
 from .stats import counters
-
-SCHEMA = "profibus-rt/bench-batch/v2"
+from ..schemas import BENCH_SCHEMA as SCHEMA
 
 #: Deadline-tightness levels cycled across the generated networks so the
 #: workload spans the easy/marginal/infeasible regimes like the E5 curve.

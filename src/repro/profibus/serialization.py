@@ -160,11 +160,12 @@ def network_to_dict(network: Network) -> Dict[str, Any]:
     return doc
 
 
-#: Version tag mixed into every fingerprint.  Bump it whenever the
-#: canonical scenario-document form changes meaning (a new semantic
-#: field, a changed default) so stale value-keyed cache entries and
-#: checkpoint rows from older code can never collide with new ones.
-FINGERPRINT_SCHEMA = "profibus-rt/fingerprint/v1"
+#: Version tag mixed into every fingerprint.  Bump it (in
+#: :mod:`repro.schemas`) whenever the canonical scenario-document form
+#: changes meaning (a new semantic field, a changed default) so stale
+#: value-keyed cache entries and checkpoint rows from older code can
+#: never collide with new ones.
+from ..schemas import FINGERPRINT_SCHEMA
 
 
 def network_fingerprint(network: Network) -> str:

@@ -1,0 +1,76 @@
+"""`repro.schemas` — the central registry of wire/file schema versions.
+
+Every durable document this toolbox emits or accepts is tagged with a
+``profibus-rt/<name>/v<k>`` schema string.  Those strings are **frozen
+contracts**: a consumer that sees an unknown tag refuses the document
+instead of guessing.  Before this module existed the tags lived as
+scattered string literals, so two modules could silently drift apart —
+now every tag is defined exactly once here and *imported* at each use
+site.  The ``REP003`` rule of :mod:`repro.lint` statically enforces
+that discipline: any ``profibus-rt/...`` literal outside this module,
+any tag not in this registry, any family registered twice at different
+versions, and any registry entry undocumented in ``PERF.md`` is a lint
+failure.
+
+Bumping a version is a deliberate act: change the constant here, update
+the producers/consumers, document the new shape in ``PERF.md``, and the
+lint pass keeps every mention coherent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: One-shot analysis/sweep/admission request & result documents
+#: (:mod:`repro.api`).
+API_SCHEMA = "profibus-rt/api/v1"
+
+#: JSON-lines wire protocol of the resident analysis daemon
+#: (:mod:`repro.service`).
+SERVICE_SCHEMA = "profibus-rt/service/v1"
+
+#: Canonical network content hash — the value-identity key for result
+#: caching, corpus dedup, and checkpoint rows
+#: (:func:`repro.profibus.serialization.network_fingerprint`).
+FINGERPRINT_SCHEMA = "profibus-rt/fingerprint/v1"
+
+#: Golden regression corpus entries, one JSONL row per network
+#: (:mod:`repro.corpus`).
+CORPUS_SCHEMA = "profibus-rt/corpus/v1"
+
+#: ``FUZZ_report.json`` campaign reports (:mod:`repro.fuzz.report`).
+FUZZ_SCHEMA = "profibus-rt/fuzz/v2"
+
+#: Kill-safe streaming campaign checkpoints
+#: (:mod:`repro.fuzz.campaign`).
+FUZZ_CHECKPOINT_SCHEMA = "profibus-rt/fuzz-checkpoint/v1"
+
+#: ``BENCH_batch.json`` throughput reports (:mod:`repro.perf.bench`).
+BENCH_SCHEMA = "profibus-rt/bench-batch/v2"
+
+#: ``repro-cli lint`` JSON reports (:mod:`repro.lint`).
+LINT_SCHEMA = "profibus-rt/lint/v1"
+
+
+#: Registry of every frozen schema tag, constant name -> value.  Built
+#: from the module namespace so a constant can never be left out.
+SCHEMAS: Dict[str, str] = {
+    name: value
+    for name, value in list(globals().items())
+    if name.endswith("_SCHEMA") and isinstance(value, str)
+}
+
+
+def schema_family(value: str) -> str:
+    """The family (name without the version suffix) of a schema tag:
+    ``profibus-rt/fuzz/v2`` -> ``profibus-rt/fuzz``."""
+    head, _, version = value.rpartition("/")
+    if not head or not version.startswith("v"):
+        raise ValueError(f"not a schema tag: {value!r}")
+    return head
+
+
+#: family -> full tag, for drift detection (one version per family).
+FAMILIES: Dict[str, str] = {
+    schema_family(value): value for value in SCHEMAS.values()
+}

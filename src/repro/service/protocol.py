@@ -43,8 +43,7 @@ import json
 from typing import Any, Dict, Optional, Tuple
 
 from ..api import API_SCHEMA, OPS as ANALYSIS_OPS
-
-SERVICE_SCHEMA = "profibus-rt/service/v1"
+from ..schemas import SERVICE_SCHEMA
 
 CONTROL_OPS = ("ping", "stats", "shutdown")
 ALL_OPS = tuple(ANALYSIS_OPS) + CONTROL_OPS

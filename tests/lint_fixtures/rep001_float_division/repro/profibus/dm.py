@@ -1,0 +1,7 @@
+"""Known-bad kernel: eq. (16) drifts into true division."""
+
+
+def dm_bound(total, n_streams):
+    # BUG: '/' yields a float; one rounded intermediate and the
+    # fast/generic/vectorized bit-equality contract is gone.
+    return total / n_streams

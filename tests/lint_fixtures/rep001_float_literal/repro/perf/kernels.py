@@ -1,0 +1,10 @@
+"""Known-bad kernel: float literal and float-returning math call."""
+
+import math
+
+SLACK_FACTOR = 0.97
+
+
+def padded_bound(x):
+    # BUG: math.sqrt returns a float inside a kernel-critical module.
+    return math.sqrt(x) * SLACK_FACTOR

@@ -1,0 +1,9 @@
+"""Known-bad generator: module-level RNG instead of a threaded one."""
+
+import random
+
+
+def random_period():
+    # BUG: hidden global RNG state — instances stop being pure
+    # functions of (seed, family, index).
+    return random.randint(10, 10_000)

@@ -1,0 +1,14 @@
+"""Known-bad analysis module: wall-clock and environment reads."""
+
+import os
+import time
+
+
+def stamped_tcycle(tc):
+    # BUG: wall-clock read inside the deterministic core.
+    return {"tcycle": tc, "at": time.time()}
+
+
+def configured_ttr(default):
+    # BUG: analysis result depends on the process environment.
+    return int(os.environ.get("TTR_OVERRIDE", default))

@@ -1,0 +1,9 @@
+"""Known-bad schema use: version drifted from the registry."""
+
+# BUG: the registry says profibus-rt/fuzz/v2; this module silently
+# kept emitting v1 documents.
+FUZZ_SCHEMA = "profibus-rt/fuzz/v1"
+
+
+def report_doc():
+    return {"schema": FUZZ_SCHEMA}

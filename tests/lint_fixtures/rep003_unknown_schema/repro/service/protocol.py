@@ -1,0 +1,6 @@
+"""Known-bad schema use: a tag nobody registered."""
+
+
+def telemetry_doc():
+    # BUG: unknown schema family — consumers cannot validate it.
+    return {"schema": "profibus-rt/telemetry/v1"}

@@ -1,0 +1,11 @@
+"""Known-bad pool use: a closure shipped to process-pool workers."""
+
+from ..perf.batch import pooled_imap
+
+
+def check_all(entries, tolerance, workers):
+    # BUG: the nested def closes over `tolerance` and cannot pickle.
+    def check_one(entry):
+        return abs(entry) <= tolerance
+
+    return list(pooled_imap(check_one, entries, workers=workers))

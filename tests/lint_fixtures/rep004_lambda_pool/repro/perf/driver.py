@@ -1,0 +1,9 @@
+"""Known-bad pool use: a lambda shipped to process-pool workers."""
+
+from .batch import pooled_map
+
+
+def double_all(items, workers):
+    # BUG: lambdas cannot pickle; this passes every workers=1 test and
+    # explodes on the first real pooled run.
+    return pooled_map(lambda x: x * 2, items, workers=workers)

@@ -1,0 +1,17 @@
+"""Known-bad mutant catalogue: a seam the refactor left dangling."""
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def _patched(*patches):
+    yield
+
+
+def _stale_mutant():
+    from ..profibus import dm as dm_mod
+
+    # BUG: dm.py renamed this attribute; setattr would still "work",
+    # the mutant would mutate nothing, and the harness would go
+    # vacuous without failing.
+    return _patched((dm_mod, "dm_response_times_legacy", None))

@@ -1,0 +1,12 @@
+"""Known-bad api use: mutating a frozen request after construction."""
+
+from repro.api import AnalysisRequest
+
+
+def escalate(doc):
+    req = AnalysisRequest(op="analyse", network=doc)
+    # BUG: frozen instances hash and cache by value; in-place mutation
+    # corrupts every value-keyed structure holding this request.
+    object.__setattr__(req, "policy", "edf")
+    req.refined = True
+    return req
