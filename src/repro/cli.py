@@ -300,10 +300,17 @@ def _cmd_lint(args) -> int:
             rule_ids=args.rules or None,
             baseline=args.baseline,
             update_baseline=args.update_baseline,
+            flow=args.flow,
+            include_fixtures=args.include_fixtures,
+            changed_only=args.changed_only,
+            changed_base=args.base,
+            dump_graph=args.dump_graph,
         )
     except LintUsageError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+    for warning in result.warnings:
+        print(f"lint: warning: {warning}", file=sys.stderr)
     doc = result.to_doc()
     if args.format == "json":
         print(render_json(doc), end="")
@@ -724,7 +731,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="files/directories to lint (default: src)")
     p.add_argument("--format", default="text", choices=("text", "json"),
                    help="report format (json follows schema "
-                        "profibus-rt/lint/v1)")
+                        "profibus-rt/lint/v2)")
     p.add_argument("--rules", nargs="*", default=None, metavar="REPxxx",
                    help="restrict to these rule ids (default: all)")
     p.add_argument("--baseline", default=None, metavar="BASELINE.jsonl",
@@ -733,6 +740,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--update-baseline", action="store_true",
                    help="freeze the current findings into --baseline "
                         "and report clean")
+    p.add_argument("--flow", dest="flow", action="store_true",
+                   default=True,
+                   help="run the interprocedural call-graph passes "
+                        "REP010-REP013 (default: on)")
+    p.add_argument("--no-flow", dest="flow", action="store_false",
+                   help="per-file rules only; skip call-graph "
+                        "construction")
+    p.add_argument("--dump-graph", default=None, metavar="GRAPH.json",
+                   help="also write the deterministic call-graph "
+                        "artifact (schema profibus-rt/callgraph/v1)")
+    p.add_argument("--changed-only", action="store_true",
+                   help="lint only files changed vs --base per git "
+                        "diff; full run with a warning outside git")
+    p.add_argument("--base", default="HEAD", metavar="REF",
+                   help="git base for --changed-only (default: HEAD)")
+    p.add_argument("--include-fixtures", action="store_true",
+                   help="also lint tests/lint_fixtures/** "
+                        "(intentionally-bad trees, skipped by default)")
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(

@@ -27,30 +27,67 @@ REP006   frozen-api          no attribute assignment to frozen
                              constructors
 =======  ==================  ===========================================
 
+On top of the per-file pass, the **flow layer** (:mod:`~repro.lint.flow`,
+on by default, ``--no-flow`` to skip) builds a whole-program call graph
+(:mod:`~repro.lint.graph` over :mod:`~repro.lint.symbols`) and runs
+fixed-point interprocedural passes:
+
+=======  =====================  ========================================
+rule     title                  invariant
+=======  =====================  ========================================
+REP010   float-taint            no kernel-critical module calls into a
+                                function that transitively produces a
+                                float (taint path printed hop by hop)
+REP011   purity                 fingerprints, corpus goldens, and fuzz
+                                families never transitively reach
+                                unseeded RNG / wall-clock / environment
+                                / global mutation
+REP012   async-safety           no blocking call (pool drive, file IO,
+                                ``time.sleep`` ...) reachable from a
+                                ``repro.service`` coroutine without an
+                                executor hop
+REP013   pickle-reachability    everything a pool-submitted callable
+                                transitively calls is importable by
+                                name in a worker process
+=======  =====================  ========================================
+
 Run it as ``repro-cli lint src/ [--format json|text] [--rules ...]
-[--baseline FILE [--update-baseline]]``; exit code 0 = clean, 1 =
-findings, 2 = usage error.  Per-line exceptions are recorded inline as
-``# lint: disable=REPxxx — <reason>``.  Rule strength is proven the
-same way the corpus proves mutant strength: ``tests/lint_fixtures/``
-holds known-bad snippets every rule must flag, asserted in tier-1.
+[--baseline FILE [--update-baseline]] [--no-flow] [--dump-graph G.json]
+[--changed-only [--base REF]] [--include-fixtures]``; exit code 0 =
+clean, 1 = findings, 2 = usage error.  Per-line exceptions are recorded
+inline as ``# lint: disable=REPxxx — <reason>``.  Rule strength is
+proven the same way the corpus proves mutant strength:
+``tests/lint_fixtures/`` holds known-bad snippets every rule must flag,
+asserted in tier-1.
 """
 
 from .engine import FileContext, Finding, LintEngine, ProjectContext, Rule
+from .flow import FLOW_RULES, make_flow_rules, run_flow
+from .graph import CallGraph, build_graph, graph_doc, render_graph
 from .report import render_json, render_text, report_doc
 from .rules import ALL_RULES, make_rules
 from .runner import LintResult, LintUsageError, collect_files, run_lint
+from .symbols import ModuleSymbols, build_module_symbols
 
 __all__ = [
     "ALL_RULES",
+    "CallGraph",
+    "FLOW_RULES",
     "FileContext",
     "Finding",
     "LintEngine",
     "LintResult",
     "LintUsageError",
+    "ModuleSymbols",
     "ProjectContext",
     "Rule",
+    "build_graph",
+    "build_module_symbols",
     "collect_files",
+    "graph_doc",
+    "make_flow_rules",
     "make_rules",
+    "render_graph",
     "render_json",
     "render_text",
     "report_doc",

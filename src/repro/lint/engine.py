@@ -41,6 +41,48 @@ _SUPPRESS_RE = re.compile(
 )
 
 
+def collect_suppressions(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Parse the inline suppression comments out of one file's source.
+
+    Returns ``(line -> rule ids, file-wide rule ids)``.  Shared by the
+    per-file engine (:class:`FileContext`) and the whole-program flow
+    layer (:mod:`repro.lint.flow`), so a ``# lint: disable=REPxxx``
+    means the same thing to both.
+    """
+    line_suppressions: Dict[int, Set[str]] = {}
+    file_suppressions: Set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return line_suppressions, file_suppressions
+    code_lines: Set[int] = set()
+    comments: List[Tuple[int, bool, str]] = []
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            standalone = tok.line.lstrip().startswith("#")
+            comments.append((tok.start[0], standalone, tok.string))
+        elif tok.type not in (tokenize.NL, tokenize.NEWLINE,
+                              tokenize.INDENT, tokenize.DEDENT,
+                              tokenize.ENDMARKER):
+            code_lines.add(tok.start[0])
+    for line, standalone, text in comments:
+        m = _SUPPRESS_RE.search(text)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(2).split(",")}
+        if m.group(1) == "disable-file":
+            file_suppressions |= rules
+            continue
+        line_suppressions.setdefault(line, set()).update(rules)
+        if standalone:
+            nxt = min((ln for ln in code_lines if ln > line), default=None)
+            if nxt is not None:
+                line_suppressions.setdefault(nxt, set()).update(rules)
+    return line_suppressions, file_suppressions
+
+
 @dataclass(frozen=True)
 class Finding:
     """One rule violation at one source location."""
@@ -191,42 +233,10 @@ class FileContext:
         self.func_stack: List[FunctionScope] = []
         self.findings: List[Finding] = []
         self.suppressed_count: int = 0
-        self._line_suppressions: Dict[int, Set[str]] = {}
-        self._file_suppressions: Set[str] = set()
-        self._collect_suppressions()
+        self._line_suppressions, self._file_suppressions = \
+            collect_suppressions(self.source)
 
     # -- suppressions --------------------------------------------------
-
-    def _collect_suppressions(self) -> None:
-        try:
-            tokens = list(tokenize.generate_tokens(
-                io.StringIO(self.source).readline))
-        except (tokenize.TokenError, IndentationError):  # pragma: no cover
-            return
-        code_lines: Set[int] = set()
-        comments: List[Tuple[int, bool, str]] = []
-        for tok in tokens:
-            if tok.type == tokenize.COMMENT:
-                standalone = tok.line.lstrip().startswith("#")
-                comments.append((tok.start[0], standalone, tok.string))
-            elif tok.type not in (tokenize.NL, tokenize.NEWLINE,
-                                  tokenize.INDENT, tokenize.DEDENT,
-                                  tokenize.ENDMARKER):
-                code_lines.add(tok.start[0])
-        for line, standalone, text in comments:
-            m = _SUPPRESS_RE.search(text)
-            if not m:
-                continue
-            rules = {r.strip() for r in m.group(2).split(",")}
-            if m.group(1) == "disable-file":
-                self._file_suppressions |= rules
-                continue
-            self._line_suppressions.setdefault(line, set()).update(rules)
-            if standalone:
-                nxt = min((ln for ln in code_lines if ln > line),
-                          default=None)
-                if nxt is not None:
-                    self._line_suppressions.setdefault(nxt, set()).update(rules)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         if rule_id in self._file_suppressions:

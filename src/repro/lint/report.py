@@ -1,34 +1,40 @@
 """Text and JSON reporters for lint results.
 
 The JSON form is itself a frozen contract — schema
-``profibus-rt/lint/v1`` (:data:`repro.schemas.LINT_SCHEMA`), documented
+``profibus-rt/lint/v2`` (:data:`repro.schemas.LINT_SCHEMA`), documented
 in ``PERF.md`` — so CI jobs and editor integrations can consume lint
-output without scraping text::
+output without scraping text.  v2 replaces v1 (one live version per
+family, per the registry invariant): the rule list now spans both the
+per-file and the flow rules, and a ``graph`` key carries the call-graph
+summary (``null`` when the flow layer was skipped)::
 
     {
-      "schema": "profibus-rt/lint/v1",
+      "schema": "profibus-rt/lint/v2",
       "ok": false,
       "files": 74,
       "rules": [{"id": "REP001", "title": "exact-arithmetic",
                  "rationale": "..."}],
       "findings": [{"rule": "REP001", "path": "src/repro/profibus/dm.py",
                     "line": 12, "col": 8, "message": "..."}],
-      "counts": {"findings": 1, "suppressed": 14, "baselined": 0}
+      "counts": {"findings": 1, "suppressed": 14, "baselined": 0},
+      "graph": {"modules": 40, "functions": 310, "edges": 700,
+                "unresolved": 420}
     }
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..schemas import LINT_SCHEMA
 from .engine import Finding, Rule
 
 
 def report_doc(findings: Sequence[Finding], *, files: int,
-               rules: Sequence[Rule], suppressed: int,
-               baselined: int) -> Dict[str, Any]:
+               rules: Sequence[Any], suppressed: int,
+               baselined: int,
+               graph: Optional[Dict[str, int]] = None) -> Dict[str, Any]:
     """The schema-versioned report document."""
     return {
         "schema": LINT_SCHEMA,
@@ -45,6 +51,7 @@ def report_doc(findings: Sequence[Finding], *, files: int,
             "suppressed": suppressed,
             "baselined": baselined,
         },
+        "graph": dict(graph) if graph is not None else None,
     }
 
 

@@ -1,25 +1,36 @@
 """File collection and orchestration for one lint run.
 
 :func:`run_lint` is the single entrypoint both the CLI and the tests
-use: collect ``.py`` files from the given paths, run the engine over
-each, run every rule's repo-level ``finalize`` pass, apply the optional
+use: collect ``.py`` files from the given paths (skipping the
+known-bad ``lint_fixtures`` trees unless asked), optionally restrict
+to git-changed files, run the per-file engine over each, run the flow
+layer's whole-program passes over the call graph, apply the optional
 baseline, and return a :class:`LintResult` the reporters render.
 """
 
 from __future__ import annotations
 
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Union
 
 from . import baseline as baseline_mod
 from .engine import Finding, LintEngine, ProjectContext, Rule
+from .flow import FLOW_RULES, make_flow_rules, run_flow
+from .graph import build_graph, graph_doc, render_graph
 from .report import report_doc
-from .rules import make_rules
+from .rules import ALL_RULES, make_rules
 
 
 class LintUsageError(ValueError):
     """Bad invocation (unknown rule, missing path) — exit code 2."""
+
+
+#: Directory name holding intentionally-bad trees, excluded from
+#: default discovery (satellite: a bare ``repro-cli lint .`` must not
+#: drown in them).
+FIXTURE_DIR = "lint_fixtures"
 
 
 @dataclass
@@ -29,6 +40,9 @@ class LintResult:
     rules: List[Rule]
     suppressed: int = 0
     baselined: int = 0
+    flow_rules: List[Any] = field(default_factory=list)
+    graph_stats: Optional[Dict[str, int]] = None
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -39,19 +53,42 @@ class LintResult:
         return 0 if self.ok else 1
 
     def to_doc(self) -> Dict[str, Any]:
-        return report_doc(self.findings, files=self.files, rules=self.rules,
+        return report_doc(self.findings, files=self.files,
+                          rules=list(self.rules) + list(self.flow_rules),
                           suppressed=self.suppressed,
-                          baselined=self.baselined)
+                          baselined=self.baselined,
+                          graph=self.graph_stats)
 
 
-def collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+def _inside_fixtures(p: Path, root: Path) -> bool:
+    try:
+        rel = p.relative_to(root)
+    except ValueError:
+        return False
+    return FIXTURE_DIR in rel.parts
+
+
+def collect_files(
+    paths: Sequence[Union[str, Path]],
+    *,
+    include_fixtures: bool = False,
+) -> List[Path]:
     """Expand the given files/directories into a sorted list of ``.py``
-    files; a path that does not exist is a usage error."""
+    files; a path that does not exist is a usage error.
+
+    Files under a ``lint_fixtures`` directory *below* a given root are
+    skipped unless ``include_fixtures`` — naming a fixture file or a
+    directory inside ``lint_fixtures`` explicitly always keeps it (the
+    kill-matrix tests lint fixture trees by pointing straight at them).
+    """
     out: List[Path] = []
     for raw in paths:
         p = Path(raw)
         if p.is_dir():
-            out.extend(sorted(q for q in p.rglob("*.py") if q.is_file()))
+            keep_all = include_fixtures or FIXTURE_DIR in p.parts
+            for q in sorted(q for q in p.rglob("*.py") if q.is_file()):
+                if keep_all or not _inside_fixtures(q, p):
+                    out.append(q)
         elif p.is_file():
             out.append(p)
         else:
@@ -67,24 +104,81 @@ def collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
     return unique
 
 
+def _changed_files(anchor: Path, base: str) -> Optional[Set[Path]]:
+    """Resolved paths of files changed vs ``base`` per git, or ``None``
+    when ``anchor`` is not inside a usable git checkout."""
+    probe = anchor if anchor.is_dir() else anchor.parent
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=probe, capture_output=True, text=True, timeout=30)
+        if top.returncode != 0:
+            return None
+        root = Path(top.stdout.strip())
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base],
+            cwd=root, capture_output=True, text=True, timeout=30)
+        if diff.returncode != 0:
+            return None
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return {(root / line).resolve()
+            for line in diff.stdout.splitlines() if line.strip()}
+
+
 def run_lint(
     paths: Sequence[Union[str, Path]],
     *,
     rule_ids: Optional[Sequence[str]] = None,
     baseline: Optional[Union[str, Path]] = None,
     update_baseline: bool = False,
+    flow: bool = True,
+    include_fixtures: bool = False,
+    changed_only: bool = False,
+    changed_base: str = "HEAD",
+    dump_graph: Optional[Union[str, Path]] = None,
 ) -> LintResult:
     """Lint the given paths.
 
     ``baseline`` names a JSONL baseline file: with ``update_baseline``
     the current findings are frozen into it (and the run reports clean);
     otherwise, if the file exists, baselined findings are subtracted.
+
+    ``flow`` (default on) additionally builds the whole-program call
+    graph and runs the interprocedural REP010–REP013 passes;
+    ``dump_graph`` writes the deterministic callgraph artifact and
+    forces graph construction even under ``flow=False``.
     """
+    if rule_ids is not None:
+        known = set(ALL_RULES) | set(FLOW_RULES)
+        unknown = [r for r in rule_ids if r not in known]
+        if unknown:
+            raise LintUsageError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})")
+        syntactic_ids = [r for r in rule_ids if r in ALL_RULES]
+        flow_ids: Optional[Sequence[str]] = \
+            [r for r in rule_ids if r in FLOW_RULES]
+    else:
+        syntactic_ids = None
+        flow_ids = None
     try:
-        rules = make_rules(rule_ids)
+        rules = make_rules(syntactic_ids)
     except ValueError as exc:
         raise LintUsageError(str(exc))
-    files = collect_files(paths)
+    flow_rules = make_flow_rules(flow_ids) if flow else []
+
+    warnings: List[str] = []
+    files = collect_files(paths, include_fixtures=include_fixtures)
+    if changed_only and files:
+        changed = _changed_files(Path(paths[0]), changed_base)
+        if changed is None:
+            warnings.append(
+                "--changed-only: not a git checkout (or base "
+                f"{changed_base!r} unusable); linting everything")
+        else:
+            files = [p for p in files if p.resolve() in changed]
+
     project = ProjectContext(files,
                              {p.resolve(): str(p) for p in files})
     engine = LintEngine(rules)
@@ -101,6 +195,26 @@ def run_lint(
         suppressed += ctx.suppressed_count
     for rule in rules:
         findings.extend(rule.finalize(project))
+
+    graph_stats: Optional[Dict[str, int]] = None
+    if flow_rules or dump_graph is not None:
+        graph = build_graph([(p, str(p)) for p in files])
+        graph_stats = {
+            "modules": len(graph.modules),
+            "functions": len(graph.functions),
+            "edges": sum(len(v) for v in graph.calls.values()),
+            "unresolved": sum(len(v) for v in graph.unresolved.values()),
+        }
+        if flow_rules:
+            flow_findings, flow_suppressed = run_flow(graph, flow_rules)
+            findings.extend(flow_findings)
+            suppressed += flow_suppressed
+        if dump_graph is not None:
+            from ..schemas import CALLGRAPH_SCHEMA
+            Path(dump_graph).write_text(
+                render_graph(graph_doc(graph, CALLGRAPH_SCHEMA)),
+                encoding="utf-8")
+
     findings.sort(key=Finding.sort_key)
 
     baselined = 0
@@ -119,4 +233,6 @@ def run_lint(
         raise LintUsageError("--update-baseline needs --baseline FILE")
 
     return LintResult(findings=findings, files=linted, rules=rules,
-                      suppressed=suppressed, baselined=baselined)
+                      suppressed=suppressed, baselined=baselined,
+                      flow_rules=flow_rules, graph_stats=graph_stats,
+                      warnings=warnings)

@@ -64,6 +64,8 @@ def set_analysis_mode(mode: str) -> str:
         )
     global _mode
     previous = _mode
+    # lint: disable=REP011 — this *is* the mode-switch API; callers on
+    # determinism-critical paths save/restore via analysis_mode_set()
     _mode = mode
     return previous
 

@@ -77,6 +77,9 @@ def dm_response_times(master: Master, tc: int) -> List[StreamResponse]:
     else:
         ts = _master_taskset(master, tc)
         values = [
+            # lint: disable=REP010 — int-domain call: the RTA helper's
+            # float branch is its generic-Number API; all-int tasksets
+            # take the exact path (proven by the cross-mode oracles)
             nonpreemptive_response_time(ts, ts[idx]).value
             for idx in range(len(streams))
         ]
@@ -114,6 +117,8 @@ def dm_response_time_paper_form(
     def step(r):
         total = base
         for j in hp:
+            # lint: disable=REP010 — int-domain call: ceil_div's float
+            # branch is its generic-Number API; int args stay exact
             total = total + ceil_div(r + j.J, j.T) * tc
         return total
 

@@ -88,6 +88,8 @@ def max_feasible_ttr(network: Network, refined: bool = False) -> Optional[int]:
     for master in network.masters:
         nh = master.nh
         for s in master.high_streams:
+            # lint: disable=REP010 — int-domain call: floor_div's float
+            # branch is its generic-Number API; int args stay exact
             cand = floor_div(s.D, nh) - lateness
             if best is None or cand < best:
                 best = cand

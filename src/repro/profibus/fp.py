@@ -50,6 +50,8 @@ def fp_response_times(
         return None
     out = []
     for idx, s in enumerate(streams):
+        # lint: disable=REP010 — int-domain call: the RTA helper's float
+        # branch is its generic-Number API; all-int tasksets stay exact
         rt = nonpreemptive_response_time(ts, ts[idx])
         out.append(
             StreamResponse(

@@ -48,8 +48,14 @@ FUZZ_CHECKPOINT_SCHEMA = "profibus-rt/fuzz-checkpoint/v1"
 #: ``BENCH_batch.json`` throughput reports (:mod:`repro.perf.bench`).
 BENCH_SCHEMA = "profibus-rt/bench-batch/v2"
 
-#: ``repro-cli lint`` JSON reports (:mod:`repro.lint`).
-LINT_SCHEMA = "profibus-rt/lint/v1"
+#: ``repro-cli lint`` JSON reports (:mod:`repro.lint`).  v2 replaces v1:
+#: the rule catalogue spans the interprocedural flow rules and a
+#: ``graph`` key summarises the call graph (null without ``--flow``).
+LINT_SCHEMA = "profibus-rt/lint/v2"
+
+#: ``repro-cli lint --dump-graph`` whole-program call-graph artifacts
+#: (:mod:`repro.lint.graph`) — byte-deterministic for a given tree.
+CALLGRAPH_SCHEMA = "profibus-rt/callgraph/v1"
 
 
 #: Registry of every frozen schema tag, constant name -> value.  Built

@@ -1,0 +1,11 @@
+"""Known-bad kernel module: all-int on its face, but it calls a helper
+whose return value carries a float — the exact cross-module hole the
+per-file REP001 pass cannot see."""
+
+from .timing import scale_budget
+
+
+def dm_bound(tc, n):
+    # BUG: scale_budget -> slack_margin -> float literal 1.5; the float
+    # flows back into the exact-arithmetic kernel.
+    return scale_budget(tc, n) + tc

@@ -1,0 +1,13 @@
+"""Known-bad helper module: float-producing helpers outside the
+kernel-critical set (so REP001 cannot see them)."""
+
+
+def slack_margin(tc):
+    # The float literal that starts the taint: one hop deeper than the
+    # function the kernel module actually calls.
+    return tc * 1.5
+
+
+def scale_budget(tc, n):
+    # Tainted transitively: returns a value derived from slack_margin.
+    return slack_margin(tc) + n

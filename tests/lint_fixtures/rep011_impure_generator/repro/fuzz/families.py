@@ -1,0 +1,15 @@
+"""Known-bad family generator: pure on its face, impure transitively.
+
+The file itself contains no RNG/wall-clock syntax, so the per-file
+determinism rule passes it; only the interprocedural pass sees that
+``fresh_salt`` reads the clock.
+"""
+
+from .helpers import fresh_salt
+
+
+def generate_instance(seed, family, index):
+    # BUG: the instance depends on when it was generated, not only on
+    # (seed, family, index).
+    return {"seed": seed, "family": family, "index": index,
+            "salt": fresh_salt()}

@@ -1,0 +1,9 @@
+"""Known-bad fuzz helper: wall-clock hidden one call away from the
+family generators (outside REP002's per-file scope)."""
+
+import time
+
+
+def fresh_salt():
+    # The impurity the generator transitively reaches.
+    return int(time.time())

@@ -1,0 +1,18 @@
+"""Known-bad service module: a coroutine reaches blocking file IO
+through a sync helper, with no executor hop."""
+
+
+def _load_state(path):
+    # Blocking primitive, two frames below the event loop.
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def _warm_cache(path):
+    return _load_state(path)
+
+
+async def handle_client(path):
+    # BUG: stalls every other client of the event loop while the file
+    # is read; should hop through run_in_executor / to_thread.
+    return _warm_cache(path)

@@ -1,0 +1,25 @@
+"""Known-bad pool use REP004 cannot see: the submitted callable *is* a
+module-level def, but it calls a name bound only at runtime.
+
+``configure()`` installs ``handler`` via ``global`` — in the parent
+process, after import.  A pool worker re-imports this module fresh and
+finds no ``handler`` at all: the submission detonates remotely with a
+``NameError`` the per-file pickle rule is structurally blind to.
+"""
+
+from ..perf.batch import pooled_map
+
+
+def configure(fn):
+    global handler
+    handler = fn
+
+
+def check_entry(entry):
+    # BUG: `handler` has no module-level binding a worker import would
+    # provide; it exists only because configure() ran in the parent.
+    return handler(entry)
+
+
+def check_all(entries, workers):
+    return list(pooled_map(check_entry, entries, workers=workers))

@@ -75,6 +75,8 @@ class TestTransportForms:
 
     def test_from_dict_rejects_wrong_schema(self):
         doc = _analyse_request().to_dict()
+        # lint: disable=REP003 — deliberately drifted tag: the test
+        # proves from_dict rejects it
         doc["schema"] = "profibus-rt/api/v0"
         with pytest.raises(ApiError, match="unsupported request schema"):
             AnalysisRequest.from_dict(doc)

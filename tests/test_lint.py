@@ -9,10 +9,14 @@ Four layers:
   every accepted exception in the tree is an explained inline
   suppression;
 * **CLI contract** — exit-code matrix (0 clean / 1 findings / 2 usage
-  error), text and JSON reporters, ``profibus-rt/lint/v1`` document
+  error), text and JSON reporters, ``profibus-rt/lint/v2`` document
   shape;
 * **mechanics** — suppression comments, baseline round-trip, parse
   failures, rule selection.
+
+The interprocedural flow layer (REP010–REP013) has its own suite in
+``test_lint_flow.py``; here it only participates through the combined
+rule catalogue and the fixture kill matrix.
 """
 
 import json
@@ -24,6 +28,7 @@ import pytest
 from repro.cli import main as cli_main
 from repro.lint import (
     ALL_RULES,
+    FLOW_RULES,
     LintUsageError,
     render_json,
     render_text,
@@ -49,7 +54,7 @@ def _write(base: Path, rel: str, text: str) -> Path:
 
 def test_fixture_suite_covers_every_rule():
     intended = {case.name[:6].upper() for case in FIXTURE_CASES}
-    assert intended == set(ALL_RULES), (
+    assert intended == set(ALL_RULES) | set(FLOW_RULES), (
         "every rule needs at least one known-bad fixture it must kill"
     )
 
@@ -136,11 +141,15 @@ def test_cli_json_document_shape(capsys):
     case = FIXTURES / "rep006_frozen_mutation"
     assert cli_main(["lint", str(case), "--format", "json"]) == 1
     doc = json.loads(capsys.readouterr().out)
-    assert doc["schema"] == LINT_SCHEMA == "profibus-rt/lint/v1"
+    # lint: disable=REP003 — pins the frozen tag verbatim
+    assert doc["schema"] == LINT_SCHEMA == "profibus-rt/lint/v2"
     assert doc["ok"] is False
     assert doc["files"] == 1
     assert doc["counts"]["findings"] == len(doc["findings"]) == 2
-    assert {r["id"] for r in doc["rules"]} == set(ALL_RULES)
+    assert {r["id"] for r in doc["rules"]} == \
+        set(ALL_RULES) | set(FLOW_RULES)
+    assert set(doc["graph"]) == {"modules", "functions", "edges",
+                                 "unresolved"}
     for f in doc["findings"]:
         assert set(f) == {"rule", "path", "line", "col", "message"}
         assert f["rule"] == "REP006"
@@ -279,6 +288,49 @@ def test_missing_baseline_file_is_ignored(tmp_path):
     _write(tree, "repro/profibus/dm.py", KERNEL_VIOLATION)
     result = run_lint([tree], baseline=tmp_path / "nonexistent.jsonl")
     assert len(result.findings) == 1 and result.baselined == 0
+
+
+def test_disable_file_with_baseline_entry_for_same_file(tmp_path, capsys):
+    # A file can end up both inline-suppressed AND baselined (the
+    # disable-file was added after the baseline froze): the inline
+    # suppression wins, the baseline row simply never matches, and the
+    # run is clean — no crash, no spurious finding, no double count.
+    tree = tmp_path / "tree"
+    target = _write(tree, "repro/profibus/dm.py", KERNEL_VIOLATION)
+    baseline = tmp_path / "baseline.jsonl"
+    run_lint([tree], baseline=baseline, update_baseline=True)
+    assert baseline.read_text().strip()
+
+    target.write_text("# lint: disable-file=REP001\n" + target.read_text())
+    assert cli_main(["lint", str(tree), "--baseline", str(baseline),
+                     "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["findings"] == []
+    assert doc["counts"]["suppressed"] == 1
+    assert doc["counts"]["baselined"] == 0
+
+
+def test_baseline_row_with_dead_rule_id_is_inert(tmp_path, capsys):
+    # A baseline written under an older rule catalogue may list a rule
+    # id that no longer exists: the row loads, matches nothing, and the
+    # live findings still gate the exit code.
+    tree = tmp_path / "tree"
+    _write(tree, "repro/profibus/dm.py", KERNEL_VIOLATION)
+    baseline = tmp_path / "baseline.jsonl"
+    baseline.write_text(json.dumps(
+        {"rule": "REP999", "path": "repro/gone.py",
+         "message": "retired finding"}) + "\n")
+    assert cli_main(["lint", str(tree), "--baseline", str(baseline),
+                     "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counts"]["baselined"] == 0
+    assert [f["rule"] for f in doc["findings"]] == ["REP001"]
+
+    # and on an otherwise-clean tree the dead row keeps exit code 0
+    clean = tmp_path / "clean"
+    _write(clean, "repro/profibus/dm.py", "def ok(a, b):\n    return a + b\n")
+    assert cli_main(["lint", str(clean), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
 
 
 # --------------------------------------------------------------- mechanics
