@@ -1,6 +1,6 @@
 """`repro.api` — the unified typed analysis entrypoint.
 
-Every front end of this toolbox ultimately answers one of three
+Every front end of this toolbox ultimately answers one of four
 questions about a network document:
 
 * **analyse** — per-stream worst-case response times and the
@@ -10,7 +10,11 @@ questions about a network document:
 * **admission** — *can this message stream join the bus without
   breaking the guarantees of the streams already on it?* — plus how
   much headroom remains after it does (seeded on
-  :mod:`repro.core.sensitivity`).
+  :mod:`repro.core.sensitivity`);
+* **monitor** — *does this recorded frame log respect the analytic
+  bounds?* — a ``profibus-rt/trace/v1`` trace document checked by
+  :mod:`repro.monitor`, answered as a ``profibus-rt/monitor/v1``
+  report.
 
 This module gives those questions one typed request/response shape:
 frozen :class:`AnalysisRequest` / :class:`AnalysisResult` dataclasses
@@ -38,6 +42,7 @@ come in through this module.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -52,7 +57,7 @@ from .profibus.network import Master, Network
 from .profibus.serialization import ScenarioFormatError
 from .schemas import API_SCHEMA
 
-OPS = ("analyse", "sweep", "admission")
+OPS = ("analyse", "sweep", "admission", "monitor")
 POLICIES = ("fcfs", "dm", "edf")
 SWEEP_PARAMS = ("ttr", "deadline-scale", "baud")
 
@@ -93,6 +98,12 @@ class AnalysisRequest:
     admission_master: Optional[int] = None
     #: admission only: the candidate stream document
     admission_stream: Optional[Dict[str, Any]] = None
+    #: monitor only: the recorded frame log, as a
+    #: ``profibus-rt/trace/v1`` document (:mod:`repro.monitor.trace_io`)
+    trace: Optional[Dict[str, Any]] = None
+    #: monitor only: ignore responses of releases before this time (bit
+    #: times) — the steady-state filter of ``TokenBusConfig.stats_after``
+    stats_after: int = 0
     #: analysis mode override (``generic``/``fast``/``vectorized``);
     #: ``None`` = the serving process's default.  All modes answer
     #: bit-identically (the PERF.md contract) — the knob exists for
@@ -136,6 +147,12 @@ class AnalysisRequest:
                 raise ApiError(
                     "admission needs admission_stream (a stream document)"
                 )
+        if self.op == "monitor" and not isinstance(self.trace, dict):
+            raise ApiError("monitor needs trace (a trace document)")
+        if (isinstance(self.stats_after, bool)
+                or not isinstance(self.stats_after, int)
+                or self.stats_after < 0):
+            raise ApiError("stats_after must be a non-negative integer")
 
     # -- value identity --------------------------------------------------
     def cache_key(self, fingerprint: str) -> str:
@@ -155,8 +172,20 @@ class AnalysisRequest:
             "sweep_values": list(self.sweep_values),
             "admission_master": self.admission_master,
             "admission_stream": self.admission_stream,
+            # a digest stands in for the (potentially huge) event list;
+            # canonical JSON, so value-equal traces collide by design
+            "trace_digest": self.trace_digest(),
+            "stats_after": self.stats_after,
             "mode": self.mode,
         }, sort_keys=True, separators=(",", ":"))
+
+    def trace_digest(self) -> Optional[str]:
+        """Content hash of the trace document (``None`` without one)."""
+        if self.trace is None:
+            return None
+        canonical = json.dumps(self.trace, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # -- schema-versioned transport forms --------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -172,7 +201,7 @@ class AnalysisRequest:
         }
         for name in ("policy", "policies", "ttr", "refined", "sweep_param",
                      "sweep_values", "admission_master", "admission_stream",
-                     "mode"):
+                     "trace", "stats_after", "mode"):
             value = getattr(self, name)
             if value != defaults[name]:
                 doc[name] = list(value) if isinstance(value, tuple) else value
@@ -189,7 +218,8 @@ class AnalysisRequest:
             )
         allowed = {"schema", "op", "network", "policy", "policies", "ttr",
                    "refined", "sweep_param", "sweep_values",
-                   "admission_master", "admission_stream", "mode"}
+                   "admission_master", "admission_stream", "trace",
+                   "stats_after", "mode"}
         unknown = set(doc) - allowed
         if unknown:
             raise ApiError(
@@ -201,7 +231,8 @@ class AnalysisRequest:
                 raise ApiError(f"request missing key {key!r}")
         kwargs: Dict[str, Any] = {"op": doc["op"], "network": doc["network"]}
         for name in ("policy", "ttr", "refined", "sweep_param",
-                     "admission_master", "admission_stream", "mode"):
+                     "admission_master", "admission_stream", "trace",
+                     "stats_after", "mode"):
             if name in doc:
                 kwargs[name] = doc[name]
         if "policies" in doc:
@@ -450,10 +481,46 @@ def _compute_admission(request: AnalysisRequest, net: Network,
     )
 
 
+def _compute_monitor(request: AnalysisRequest, net: Network,
+                     fingerprint: str, workers: int) -> AnalysisResult:
+    from .monitor import TraceFormatError
+    from .monitor import engine as monitor_engine
+    from .monitor.trace_io import trace_from_doc
+
+    try:
+        ingested = trace_from_doc(request.trace)
+    except TraceFormatError as exc:
+        raise ApiError(f"bad trace document: {exc}") from exc
+    try:
+        report = monitor_engine.monitor_trace(
+            net, ingested, request.policy,
+            refined=request.refined, stats_after=request.stats_after,
+        )
+    except ValueError as exc:
+        raise ApiError(str(exc)) from exc
+    payload = {
+        "policy": request.policy,
+        "refined": request.refined,
+        "report": report.to_dict(),
+        "all_sound": report.all_sound,
+        "all_clear": report.all_clear,
+        "degraded": report.degraded,
+    }
+    # "schedulable" answers the op's question: did the recorded run
+    # positively respect every bound (rows and token rotations)?
+    return AnalysisResult(
+        op="monitor",
+        fingerprint=fingerprint,
+        schedulable=report.all_clear,
+        payload=payload,
+    )
+
+
 _COMPUTE = {
     "analyse": _compute_analyse,
     "sweep": _compute_sweep,
     "admission": _compute_admission,
+    "monitor": _compute_monitor,
 }
 
 
@@ -552,6 +619,26 @@ def sweep_network(
                         sweep_values=tuple(sweep_values), mode=mode),
         cache=cache,
         workers=workers,
+    )
+
+
+def monitor_check(
+    network: Union[Network, Dict[str, Any]],
+    trace: Dict[str, Any],
+    policy: str = "dm",
+    ttr: Optional[int] = None,
+    refined: bool = False,
+    stats_after: int = 0,
+    cache: Optional[ResultCache] = None,
+) -> AnalysisResult:
+    """Does this recorded frame log (a ``profibus-rt/trace/v1``
+    document) respect the analytic bounds?  The payload carries the full
+    ``profibus-rt/monitor/v1`` report."""
+    return execute(
+        AnalysisRequest(op="monitor", network=_network_doc(network),
+                        policy=policy, ttr=ttr, refined=refined,
+                        trace=trace, stats_after=stats_after),
+        cache=cache,
     )
 
 

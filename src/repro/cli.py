@@ -5,6 +5,7 @@ Subcommands::
     profibus-rt analyse  --scenario factory-cell --policy dm [--ttr N]
     profibus-rt ttr      --scenario factory-cell
     profibus-rt simulate --scenario factory-cell --policy edf --horizon-ms 4000
+    profibus-rt monitor  --scenario factory-cell --trace run.jsonl
     profibus-rt report   --scenario factory-cell
     profibus-rt fuzz     --budget 200 --seed 0
     profibus-rt serve    --port 7532 --workers 4
@@ -12,9 +13,12 @@ Subcommands::
 ``analyse`` prints per-stream worst-case response times (eqs. 11/16/17);
 ``ttr`` prints the maximum feasible TTR per policy (eq. 15 +
 generalisation); ``simulate`` runs the token-bus simulator and compares
-observed responses against the analytic bounds; ``report`` prints the
-token-cycle breakdown (eqs. 13–14); ``serve`` runs the resident
-analysis service (:mod:`repro.service`).
+observed responses against the analytic bounds (``--export-trace``
+records the run as a ``profibus-rt/trace/v1`` JSONL file); ``monitor``
+checks a recorded frame log — exported or foreign — against the same
+bounds (:mod:`repro.monitor`), from a file or following stdin;
+``report`` prints the token-cycle breakdown (eqs. 13–14); ``serve``
+runs the resident analysis service (:mod:`repro.service`).
 
 ``analyse``, ``sweep`` and ``serve`` are all thin transports over the
 one typed entrypoint in :mod:`repro.api` — same request, same result
@@ -111,7 +115,23 @@ def _cmd_ttr(args) -> int:
 def _cmd_simulate(args) -> int:
     net = _load_network(args)
     horizon = int(args.horizon_ms * net.phy.baud_rate / 1000)
-    report = validate_network(net, args.policy, horizon)
+    config = None
+    tracer = None
+    if getattr(args, "export_trace", None):
+        from .sim.token import TokenBusConfig
+        from .sim.trace import BusTrace
+
+        policy = {"fcfs": "stock-fcfs", "dm": "ap-dm",
+                  "edf": "ap-edf"}[args.policy]
+        tracer = BusTrace(max_events=args.trace_events)
+        config = TokenBusConfig(policy=policy, tracer=tracer)
+    report = validate_network(net, args.policy, horizon, config=config)
+    if tracer is not None:
+        from .monitor import write_trace_jsonl
+
+        write_trace_jsonl(tracer, args.export_trace, horizon=horizon)
+        print(f"wrote {args.export_trace} ({len(tracer.events)} events"
+              f"{', truncated' if tracer.truncated else ''})")
     print(f"scenario={args.scenario} policy={args.policy} "
           f"horizon={args.horizon_ms} ms  (events={report.detail['events']})")
     print(f"{'stream':<28}{'bound':>10}{'observed':>10}{'jobs':>10}  verdict")
@@ -179,11 +199,106 @@ def _cmd_trace(args) -> int:
     simulate_token_bus(net, horizon,
                        config=TokenBusConfig(policy=policy, tracer=trace))
     window = int(args.window_ms * net.phy.baud_rate / 1000)
+    # render_timeline itself annotates a truncated trace
     print(render_timeline(trace, 0, min(window, horizon), width=args.width))
     print(f"\nbus utilisation over trace: {trace.bus_utilisation() * 100:.1f}%")
-    if trace.dropped:
-        print(f"(trace truncated: {trace.dropped} events dropped)")
     return 0
+
+
+def _print_monitor_report(doc) -> None:
+    """Text rendering of a ``profibus-rt/monitor/v1`` document (same
+    columns as ``simulate``, plus the per-master rotation checks)."""
+    detail = doc["detail"]
+    print(f"policy={detail['policy']} horizon={detail['horizon']} "
+          f"events={detail['events']} source={detail['source_format']}")
+    print(f"{'stream':<28}{'bound':>10}{'observed':>10}{'jobs':>10}  verdict")
+    for row in doc["rows"]:
+        jobs = f"{row['completed']}/{row['released']}"
+        bound = row["bound"] if row["bound"] is not None else "∞"
+        print(f"{row['name']:<28}{bound:>10}"
+              f"{row['effective_observed']:>10}{jobs:>10}  {row['verdict']}")
+    print(f"{'master':<28}{'Tcycle':>10}{'max TRR':>10}{'visits':>10}  verdict")
+    for name, m in doc["masters"].items():
+        print(f"{name:<28}{m['trr_bound']:>10}{m['max_trr']:>10}"
+              f"{m['token_visits']:>10}  {m['verdict']}")
+    if detail.get("truncated"):
+        print(f"(trace truncated: {detail['dropped']} events dropped — "
+              "positive verdicts degraded)")
+    if detail.get("unmatched_cycle_ends"):
+        print(f"(unmatched cycle ends: {detail['unmatched_cycle_ends']} — "
+              "affected streams degraded)")
+
+
+def _cmd_monitor(args) -> int:
+    import json as json_mod
+
+    from . import api
+    from .monitor import TraceFormatError
+
+    net = _load_network(args)
+
+    if args.follow:
+        # Incremental mode: feed stdin line by line, snapshot as JSON
+        # lines every --every events and once at EOF.  The native header
+        # line (if present) seeds horizon/dropped metadata.
+        from .monitor.engine import TraceMonitor
+        from .monitor.trace_io import parse_event_line, parse_header_line
+
+        mon = TraceMonitor(net, args.policy, refined=args.refined,
+                           stats_after=args.stats_after)
+        horizon = args.horizon
+        try:
+            for i, raw in enumerate(sys.stdin):
+                line = raw.strip()
+                if not line:
+                    continue
+                if i == 0 and line.startswith("{"):
+                    header = parse_header_line(line)
+                    if header is not None:
+                        if header["dropped"]:
+                            mon.note_dropped(header["dropped"])
+                        if horizon is None:
+                            horizon = header["horizon"]
+                        continue
+                mon.feed(parse_event_line(line, where=f"stdin line {i + 1}"))
+                if args.every and mon.events_seen % args.every == 0:
+                    print(json_mod.dumps(mon.report(horizon=None).to_dict()),
+                          flush=True)
+        except TraceFormatError as exc:
+            raise SystemExit(f"monitor: {exc}")
+        report = mon.report(horizon=horizon)
+        print(json_mod.dumps(report.to_dict()), flush=True)
+        return 0 if report.all_clear else 1
+
+    # File mode: ingest the whole log, then route through the same typed
+    # facade the service uses — one request, one result document.
+    from .monitor import read_trace
+
+    try:
+        if args.trace == "-":
+            ingested = read_trace(sys.stdin, fmt=args.trace_format)
+        else:
+            ingested = read_trace(args.trace, fmt=args.trace_format)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {args.trace}: {exc}")
+    except TraceFormatError as exc:
+        raise SystemExit(f"bad trace {args.trace}: {exc}")
+    if args.horizon is not None:
+        ingested.horizon = args.horizon
+    try:
+        result = api.monitor_check(
+            net, ingested.to_doc(), policy=args.policy,
+            refined=args.refined, stats_after=args.stats_after,
+        )
+    except api.ApiError as exc:
+        raise SystemExit(f"monitor: {exc}")
+    doc = result.payload["report"]
+    if args.json:
+        print(json_mod.dumps(doc, indent=2, sort_keys=True))
+    else:
+        _print_monitor_report(doc)
+        print(f"all clear: {result.payload['all_clear']}")
+    return 0 if result.payload["all_clear"] else 1
 
 
 def _cmd_bandwidth(args) -> int:
@@ -533,6 +648,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="token-bus simulation vs bounds")
     add_common(p)
     p.add_argument("--horizon-ms", type=float, default=2000.0)
+    p.add_argument("--export-trace", default=None, metavar="TRACE.jsonl",
+                   help="record the run and export it as a native "
+                        "profibus-rt/trace/v1 JSONL file (see 'monitor')")
+    p.add_argument("--trace-events", type=int, default=100_000,
+                   help="recorder buffer cap; a longer run is truncated "
+                        "and the export says so")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("report", help="token-cycle breakdown (eqs. 13-14)")
@@ -775,6 +896,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-capacity", type=int, default=4096,
                    help="shared result-cache capacity (LRU entries)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "monitor",
+        help="check a recorded frame log against the analytic bounds",
+    )
+    add_common(p)
+    p.add_argument("--trace", default="-", metavar="TRACE",
+                   help="frame log to ingest: native/external JSONL or "
+                        "CSV ('-' = stdin; default)")
+    p.add_argument("--trace-format", default="auto",
+                   choices=("auto", "jsonl", "csv"),
+                   help="ingest format (default: sniff from the first line)")
+    p.add_argument("--horizon", type=int, default=None,
+                   help="end of the observation window (bit times); "
+                        "default: the trace's own horizon, else the last "
+                        "event time")
+    p.add_argument("--stats-after", type=int, default=0,
+                   help="ignore responses of releases before this time "
+                        "(bit times) — steady-state filter")
+    p.add_argument("--follow", action="store_true",
+                   help="incremental mode: feed events from stdin as they "
+                        "arrive, emit monitor reports as JSON lines")
+    p.add_argument("--every", type=int, default=0, metavar="N",
+                   help="with --follow: emit a snapshot every N events "
+                        "(default: only the final one)")
+    p.add_argument("--json", action="store_true",
+                   help="print the profibus-rt/monitor/v1 document instead "
+                        "of the text table")
+    p.set_defaults(func=_cmd_monitor)
 
     p = sub.add_parser("trace", help="simulate and render an ASCII bus timeline")
     add_common(p)

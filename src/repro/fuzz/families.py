@@ -14,7 +14,12 @@ plausibly diverge from the token-bus reality:
 * ``mixed-baud``      — the same logical workloads at every plausible
   line speed (bit-time scaling corners);
 * ``tight-ttr``       — TTR within a token pass of the ring latency, so
-  the late-token rule throttles masters to one message per visit.
+  the late-token rule throttles masters to one message per visit;
+* ``trace-replay``    — a base-family instance whose deadlines are
+  reshaped around the responses a **recorded run** actually exhibited
+  (reconstructed from the trace, the :mod:`repro.monitor` ingestion
+  path): deadlines hugging observed reality from both sides, exactly
+  where an analysis bound that is tight-but-wrong would get caught.
 
 Families are pure functions of a :class:`random.Random`; the campaign
 derives that generator from ``(seed, family, index)`` via **string**
@@ -131,13 +136,61 @@ def _tight_ttr(rng: random.Random) -> Network:
     return net.with_ttr(net.ring_latency() + slack)
 
 
-FAMILIES: Dict[str, FamilyFn] = {
+_BASE_FAMILIES: Dict[str, FamilyFn] = {
     "multi-master-ring": _multi_master_ring,
     "jitter-heavy": _jitter_heavy,
     "low-dominated": _low_dominated,
     "retry-prone": _retry_prone,
     "mixed-baud": _mixed_baud,
     "tight-ttr": _tight_ttr,
+}
+
+#: Trace-replay simulation window (bit times) and recorder cap — short
+#: on purpose: the family wants the transient responses of a run's
+#: opening rotations, not steady state, and must stay cheap per instance.
+_REPLAY_HORIZON = 300_000
+_REPLAY_MAX_EVENTS = 50_000
+
+
+def _trace_replay(rng: random.Random) -> Network:
+    import dataclasses
+
+    from ..monitor.engine import observed_worst_responses
+    from ..sim.token import TokenBusConfig, simulate_token_bus, stream_key
+    from ..sim.trace import BusTrace
+
+    base = _BASE_FAMILIES[rng.choice(sorted(_BASE_FAMILIES))]
+    net = base(rng)
+    policy = rng.choice(("stock-fcfs", "ap-dm", "ap-edf"))
+    tracer = BusTrace(max_events=_REPLAY_MAX_EVENTS)
+    simulate_token_bus(
+        net,
+        _REPLAY_HORIZON,
+        config=TokenBusConfig(policy=policy, tracer=tracer,
+                              seed=rng.randrange(2 ** 32)),
+    )
+    worst = observed_worst_responses(tracer.events)
+    masters = []
+    for m in net.masters:
+        streams = []
+        for s in m.streams:
+            observed = worst.get(stream_key(m.name, s.name))
+            if s.high_priority and observed:
+                # Deadline hugging the recorded response from either
+                # side (0.8x–1.6x): instances dense around the exact
+                # region where the analytic bound must separate sound
+                # from unsound.
+                factor = 0.8 + 0.8 * rng.random()
+                s = dataclasses.replace(s, D=max(1, int(observed * factor)))
+            streams.append(s)
+        masters.append(m.with_streams(tuple(streams)))
+    return Network(masters=tuple(masters), slaves=net.slaves,
+                   phy=net.phy, ttr=net.ttr)
+
+
+FAMILIES: Dict[str, FamilyFn] = {
+    **_BASE_FAMILIES,
+    "trace-replay": _trace_replay,
 }
 
 

@@ -1,0 +1,126 @@
+"""`MonitorReport` — the ``profibus-rt/monitor/v1`` document.
+
+A monitoring snapshot is a :class:`~repro.sim.validate.ValidationReport`
+(same rows, same verdict vocabulary — the offline and online checkers
+must never disagree about what "sound" means) extended with per-master
+token-rotation verdicts against the eq. 14 ``Tcycle`` bound.  The
+serialised form is schema-tagged and round-trips losslessly through
+:meth:`MonitorReport.to_dict` / :meth:`MonitorReport.from_dict`, so the
+resident service and the follow-mode CLI can stream snapshots as JSON
+lines.
+
+:func:`validation_row_doc` is the single serialisation of a row — the
+CI monitor-smoke job byte-compares offline :func:`validate_network`
+rows against monitor rows through this one function, so the two paths
+cannot drift apart in what they claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..schemas import MONITOR_SCHEMA
+from ..sim.validate import (
+    VERDICT_DEGRADED,
+    VERDICT_INCOMPLETE,
+    VERDICT_SOUND,
+    VERDICT_UNSOUND,
+    ValidationReport,
+    ValidationRow,
+)
+
+
+def master_verdict(token_visits: int, max_trr: int, bound: int,
+                   degraded: bool) -> str:
+    """Verdict of one master's observed token rotation against the
+    eq. 14 bound, with the same precedence as the row verdicts: an
+    observed violation is conclusive even over degraded evidence;
+    positive claims degrade; fewer than two visits measured no rotation
+    at all (the first visit only seeds the timer)."""
+    if max_trr > bound:
+        return VERDICT_UNSOUND
+    if degraded:
+        return VERDICT_DEGRADED
+    if token_visits < 2:
+        return VERDICT_INCOMPLETE
+    return VERDICT_SOUND
+
+
+def validation_row_doc(row: ValidationRow) -> Dict[str, Any]:
+    """The one serialised shape of a validation/monitor row — stored
+    fields plus the derived verdict/tightness, in fixed key order."""
+    return {
+        "name": row.name,
+        "bound": row.bound,
+        "observed": row.observed,
+        "completed": row.completed,
+        "released": row.released,
+        "unfinished": row.unfinished,
+        "pending_age": row.pending_age,
+        "missing": row.missing,
+        "degraded": row.degraded,
+        "effective_observed": row.effective_observed,
+        "verdict": row.verdict,
+        "tightness": row.tightness,
+    }
+
+
+def _row_from_doc(doc: Dict[str, Any]) -> ValidationRow:
+    return ValidationRow(
+        name=doc["name"],
+        bound=doc["bound"],
+        observed=doc["observed"],
+        completed=doc["completed"],
+        released=doc.get("released", 0),
+        unfinished=doc.get("unfinished", 0),
+        pending_age=doc.get("pending_age", 0),
+        missing=doc.get("missing", False),
+        degraded=doc.get("degraded", False),
+    )
+
+
+@dataclass(frozen=True)
+class MonitorReport(ValidationReport):
+    """One monitoring snapshot: validation rows over the reconstructed
+    observations, plus per-master token-rotation checks."""
+
+    #: master name -> {token_visits, max_trr, sum_trr, trr_bound,
+    #: tightness, verdict}
+    masters: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def all_clear(self) -> bool:
+        """Every row *and* every master positively sound — the CLI's
+        exit-0 condition (degraded/incomplete evidence is not a pass)."""
+        return self.all_sound and all(
+            m["verdict"] == VERDICT_SOUND for m in self.masters.values()
+        )
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.detail.get("truncated")) or any(
+            r.degraded for r in self.rows
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": MONITOR_SCHEMA,
+            "rows": [validation_row_doc(r) for r in self.rows],
+            "masters": self.masters,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "MonitorReport":
+        if doc.get("schema") != MONITOR_SCHEMA:
+            raise ValueError(
+                f"unsupported monitor schema {doc.get('schema')!r}; "
+                f"this build speaks {MONITOR_SCHEMA}"
+            )
+        rows: List[ValidationRow] = [_row_from_doc(r) for r in doc["rows"]]
+        return cls(
+            rows=rows,
+            detail=dict(doc.get("detail", {})),
+            masters={k: dict(v) for k, v in doc.get("masters", {}).items()},
+        )

@@ -57,6 +57,16 @@ LINT_SCHEMA = "profibus-rt/lint/v2"
 #: (:mod:`repro.lint.graph`) — byte-deterministic for a given tree.
 CALLGRAPH_SCHEMA = "profibus-rt/callgraph/v1"
 
+#: Timestamped frame-log documents the trace monitor ingests — the
+#: native :class:`repro.sim.trace.BusTrace` event stream exported as
+#: JSONL *and* the simple external CSV/JSONL shape for foreign logs
+#: both carry this tag (:mod:`repro.monitor.trace_io`).
+TRACE_SCHEMA = "profibus-rt/trace/v1"
+
+#: Streaming online bound-checking reports of the trace monitor
+#: (:mod:`repro.monitor.report`).
+MONITOR_SCHEMA = "profibus-rt/monitor/v1"
+
 
 #: Registry of every frozen schema tag, constant name -> value.  Built
 #: from the module namespace so a constant can never be left out.

@@ -101,6 +101,9 @@ class ServiceClient:
     def admission(self, request_doc: Dict[str, Any]) -> ServiceReply:
         return self.request("admission", request_doc)
 
+    def monitor(self, request_doc: Dict[str, Any]) -> ServiceReply:
+        return self.request("monitor", request_doc)
+
     # -- control operations ----------------------------------------------
     def ping(self) -> Dict[str, Any]:
         return self.request("ping").result

@@ -6,6 +6,8 @@ from .queues import DMQueue, EDFQueue, FCFSQueue, Request, StackQueue, make_queu
 from .trace import (
     CYCLE_END,
     CYCLE_START,
+    EVENT_KINDS,
+    RELEASE,
     TOKEN_ARRIVAL,
     BusEvent,
     BusTrace,
@@ -26,7 +28,9 @@ from .traffic import (
 )
 from .uniproc import UniprocStats, simulate_uniproc
 from .validate import (
+    VERDICT_DEGRADED,
     VERDICT_INCOMPLETE,
+    VERDICT_MISSING,
     VERDICT_SOUND,
     VERDICT_UNSOUND,
     ValidationReport,
@@ -41,6 +45,8 @@ __all__ = [
     "CYCLE_END",
     "CYCLE_START",
     "DMQueue",
+    "EVENT_KINDS",
+    "RELEASE",
     "TOKEN_ARRIVAL",
     "render_timeline",
     "EDFQueue",
@@ -56,7 +62,9 @@ __all__ = [
     "TokenBusResult",
     "TrafficConfig",
     "UniprocStats",
+    "VERDICT_DEGRADED",
     "VERDICT_INCOMPLETE",
+    "VERDICT_MISSING",
     "VERDICT_SOUND",
     "VERDICT_UNSOUND",
     "ValidationReport",

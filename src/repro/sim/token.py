@@ -344,6 +344,14 @@ def simulate_token_bus(
                 )
                 if t >= config.stats_after:
                     _stats_for(master, stream).released += 1
+                if config.tracer is not None:
+                    from .trace import RELEASE, BusEvent
+
+                    config.tracer.record(BusEvent(
+                        time=t, kind=RELEASE, master=master.name,
+                        stream=stream.name,
+                        high_priority=stream.high_priority,
+                    ))
                 if stream.high_priority:
                     state.enqueue_high(req)
                 else:

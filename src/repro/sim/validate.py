@@ -38,11 +38,18 @@ from .uniproc import simulate_uniproc
 #: vacuous pass); ``VERDICT_MISSING`` — the analysis stream has no
 #: simulation statistics at all (a key mismatch between the two layers),
 #: so the row is evidence of a broken harness, not of a sound bound (the
-#: old code gave such rows ``released=0`` and a vacuous ``sound``).
+#: old code gave such rows ``released=0`` and a vacuous ``sound``);
+#: ``VERDICT_DEGRADED`` — the observations themselves are untrustworthy
+#: (a truncated trace, releases that cannot be paired), so a row that
+#: would otherwise read ``sound``/``incomplete`` must not claim positive
+#: evidence.  An observed bound *violation* stays ``unsound`` even on
+#: degraded data — a response that exceeded the bound inside the
+#: recorded window is conclusive no matter what was dropped after it.
 VERDICT_SOUND = "sound"
 VERDICT_UNSOUND = "unsound"
 VERDICT_INCOMPLETE = "incomplete"
 VERDICT_MISSING = "missing"
+VERDICT_DEGRADED = "degraded"
 
 
 @dataclass(frozen=True)
@@ -62,6 +69,10 @@ class ValidationRow:
     #: the simulator produced no statistics for this stream at all —
     #: see :data:`VERDICT_MISSING`
     missing: bool = False
+    #: the observations behind this row are incomplete evidence (e.g.
+    #: reconstructed from a truncated trace) — see
+    #: :data:`VERDICT_DEGRADED`
+    degraded: bool = False
 
     @property
     def effective_observed(self) -> int:
@@ -76,10 +87,12 @@ class ValidationRow:
     def verdict(self) -> str:
         if self.missing:
             return VERDICT_MISSING
+        if self.bound is not None and self.effective_observed > self.bound:
+            return VERDICT_UNSOUND  # conclusive even on degraded data
+        if self.degraded:
+            return VERDICT_DEGRADED
         if self.bound is None:
             return VERDICT_SOUND  # no bound claimed, nothing to contradict
-        if self.effective_observed > self.bound:
-            return VERDICT_UNSOUND
         if self.released and not self.completed:
             return VERDICT_INCOMPLETE
         return VERDICT_SOUND
@@ -118,6 +131,10 @@ class ValidationReport:
     @property
     def missing_rows(self) -> List[ValidationRow]:
         return [r for r in self.rows if r.verdict == VERDICT_MISSING]
+
+    @property
+    def degraded_rows(self) -> List[ValidationRow]:
+        return [r for r in self.rows if r.verdict == VERDICT_DEGRADED]
 
     @property
     def worst_tightness(self) -> Optional[float]:

@@ -5,6 +5,7 @@ import pytest
 from repro.sim import (
     CYCLE_END,
     CYCLE_START,
+    RELEASE,
     TOKEN_ARRIVAL,
     BusEvent,
     BusTrace,
@@ -63,6 +64,91 @@ class TestTraceRecording:
         times = [e.time for e in trace.events]
         assert times == sorted(times)
 
+    def test_records_releases(self, single_master):
+        trace, result = _traced_run(single_master)
+        releases = trace.releases("M1")
+        assert releases  # the stream released work inside the horizon
+        total = sum(s.released for s in result.streams.values())
+        assert len(releases) == total
+
+
+class TestCyclePairing:
+    """Regression suite for the per-master ``cycles()`` pairing (a single
+    shared open slot used to mispair interleaved multi-master traces)."""
+
+    @staticmethod
+    def _interleaved_trace():
+        # M1's cycle [0, 10] and M2's cycle [5, 15] overlap in time:
+        # a PROFIBUS bus would never interleave transmissions, but a
+        # merged foreign log (or per-segment clocks) can — and the old
+        # single-slot pairing corrupted even well-formed queries over it.
+        trace = BusTrace()
+        trace.record(BusEvent(time=0, kind=CYCLE_START, master="M1",
+                              stream="a", value=10))
+        trace.record(BusEvent(time=5, kind=CYCLE_START, master="M2",
+                              stream="b", value=10))
+        trace.record(BusEvent(time=10, kind=CYCLE_END, master="M1",
+                              stream="a", value=10))
+        trace.record(BusEvent(time=15, kind=CYCLE_END, master="M2",
+                              stream="b", value=10))
+        return trace
+
+    def test_interleaved_two_master_pairing(self):
+        # Pre-fix: M2's start overwrote M1's in the shared slot, M1's
+        # end then paired with M2's start — one bogus (M2@5, end@10)
+        # cycle and M2's real cycle lost.  Post-fix: two cycles, each
+        # start/end on the same master, durations 10 each.
+        cycles = self._interleaved_trace().cycles()
+        assert len(cycles) == 2
+        for start, end in cycles:
+            assert start.master == end.master
+            assert end.time - start.time == 10
+        assert {s.master for s, _ in cycles} == {"M1", "M2"}
+
+    def test_interleaved_filter_by_master(self):
+        trace = self._interleaved_trace()
+        for m in ("M1", "M2"):
+            cycles = trace.cycles(m)
+            assert len(cycles) == 1
+            assert cycles[0][0].master == m
+
+    def test_unfinished_cycle_does_not_steal_later_end(self):
+        # A start with no end (cut off by the horizon/recorder) must
+        # stay unpaired; the next cycle's end must pair with its own
+        # start, not the stale one.
+        trace = BusTrace()
+        trace.record(BusEvent(time=0, kind=CYCLE_START, master="M1",
+                              stream="a", value=100))
+        trace.record(BusEvent(time=200, kind=CYCLE_START, master="M1",
+                              stream="a", value=10))
+        trace.record(BusEvent(time=210, kind=CYCLE_END, master="M1",
+                              stream="a", value=10))
+        cycles = trace.cycles()
+        assert len(cycles) == 1
+        assert (cycles[0][0].time, cycles[0][1].time) == (200, 210)
+
+    def test_simulated_multi_master_pairs_match_durations(self, factory_cell):
+        trace, _ = _traced_run(factory_cell, horizon=200_000)
+        cycles = trace.cycles()
+        assert cycles
+        for start, end in cycles:
+            assert start.master == end.master
+            assert end.time - start.time == start.value
+
+    def test_bus_utilisation_inherits_fix(self, factory_cell):
+        # Per-master pairing means utilisation sums every master's
+        # cycles; the single-slot version lost/mispaired overlapping
+        # ones and could only undercount on multi-master traces.
+        trace, _ = _traced_run(factory_cell, horizon=200_000)
+        per_master_busy = sum(
+            end.time - start.time
+            for m in {e.master for e in trace.events}
+            for start, end in trace.cycles(m)
+        )
+        span = trace.events[-1].time - trace.events[0].time
+        assert trace.bus_utilisation() == per_master_busy / span
+        assert 0.0 < trace.bus_utilisation() <= 1.0
+
 
 class TestTimeline:
     def test_render_contains_masters_and_tokens(self, factory_cell):
@@ -87,3 +173,58 @@ class TestTimeline:
                               stream="bulk", high_priority=False, value=50))
         art = render_timeline(trace, 0, 100, width=50)
         assert "." in art
+
+    def test_straddling_cycle_rendered(self):
+        # Cycle [0, 100] vs window [50, 80]: the window filter used to
+        # drop the CYCLE_START and lose the cycle entirely; now the
+        # in-window part renders, clamped to the window edges.
+        trace = BusTrace()
+        trace.record(BusEvent(time=0, kind=CYCLE_START, master="M1",
+                              stream="a", value=100))
+        trace.record(BusEvent(time=100, kind=CYCLE_END, master="M1",
+                              stream="a", value=100))
+        art = render_timeline(trace, 50, 80, width=30)
+        assert art != "(empty trace window)"
+        assert "#" in art
+        assert "M1" in art
+
+    def test_cycle_spanning_whole_window_rendered(self):
+        # Both edges outside the window — no event passes the filter at
+        # all, but the bus was busy the whole time.
+        trace = BusTrace()
+        trace.record(BusEvent(time=0, kind=CYCLE_START, master="M1",
+                              stream="a", high_priority=False, value=1000))
+        trace.record(BusEvent(time=1000, kind=CYCLE_END, master="M1",
+                              stream="a", high_priority=False, value=1000))
+        art = render_timeline(trace, 400, 600, width=20)
+        row = [l for l in art.splitlines() if l.startswith("M1")][0]
+        assert set(row.split()[1]) == {"."}  # fully filled with low marks
+
+    def test_straddle_clamp_stays_inside_window(self):
+        # The straddling cycle must not paint columns before the window
+        # start: column 0 belongs to t=start, and a cycle entering from
+        # the left starts painting there, not at a negative column.
+        trace = BusTrace()
+        trace.record(BusEvent(time=0, kind=CYCLE_START, master="M1",
+                              stream="a", value=60))
+        trace.record(BusEvent(time=60, kind=CYCLE_END, master="M1",
+                              stream="a", value=60))
+        trace.record(BusEvent(time=90, kind=TOKEN_ARRIVAL, master="M1"))
+        art = render_timeline(trace, 50, 100, width=10)
+        row = [l for l in art.splitlines() if l.startswith("M1")][0]
+        cells = row[len("M1 "):]
+        assert cells[0] == "#"  # clamped to the window start
+        assert "|" in cells
+
+    def test_truncated_trace_annotated(self, single_master):
+        trace = BusTrace(max_events=50)
+        cfg = TokenBusConfig(tracer=trace)
+        simulate_token_bus(single_master, 500_000, config=cfg)
+        assert trace.truncated
+        art = render_timeline(trace, 0, 50_000, width=60)
+        assert f"trace truncated: {trace.dropped} events dropped" in art
+
+    def test_untruncated_trace_not_annotated(self, single_master):
+        trace, _ = _traced_run(single_master, horizon=50_000)
+        art = render_timeline(trace, 0, 50_000, width=60)
+        assert "truncated" not in art
